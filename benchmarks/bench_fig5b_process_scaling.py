@@ -1,0 +1,92 @@
+"""Figure 5(b) — inter-SSPPR parallelism: strong and weak scaling.
+
+Paper setup: 2 machines, 1..8 computing processes per machine.
+
+* strong scaling: 128 queries total, fixed, split over all processes;
+  paper reports 4.8-5.5x speedup at 8 processes (workload imbalance limits
+  it when per-process query counts get small);
+* weak scaling: 128 queries *per process*; paper reports 6.4-7.8x
+  (near-linear — each process has enough work to stay busy).
+
+Shape expectations: throughput rises with process count in both modes;
+weak-scaling efficiency at 8 processes beats strong-scaling efficiency.
+"""
+
+from benchmarks.common import (
+    DATASET_NAMES,
+    assert_shapes,
+    bench_scale,
+    engine_config,
+    get_sharded,
+    print_and_store,
+)
+from repro.engine import GraphEngine
+from repro.ppr import PPRParams
+
+N_MACHINES = 2
+PROC_COUNTS = (1, 2, 4, 8)
+PARAMS = PPRParams()
+
+
+def run_dataset(name: str) -> list[dict]:
+    scale = bench_scale()
+    strong_total = 4 * scale.queries          # fixed problem size
+    weak_per_proc = max(2, scale.queries // 2)
+    sharded = get_sharded(name, N_MACHINES)
+    rows = []
+    for procs in PROC_COUNTS:
+        engine = GraphEngine(
+            sharded.graph, engine_config(N_MACHINES, procs), sharded=sharded
+        )
+        strong = engine.run_queries(n_queries=strong_total, seed=19,
+                                    params=PARAMS)
+        weak = engine.run_queries(
+            n_queries=weak_per_proc * procs * N_MACHINES, seed=23,
+            params=PARAMS,
+        )
+        rows.append({
+            "Dataset": name,
+            "Procs/machine": procs,
+            "Strong thpt": round(strong.throughput, 1),
+            "Strong time (s)": round(strong.makespan, 4),
+            "Weak thpt": round(weak.throughput, 1),
+            "Weak time (s)": round(weak.makespan, 4),
+        })
+    return rows
+
+
+def test_fig5b_process_scaling(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [r for name in DATASET_NAMES for r in run_dataset(name)],
+        rounds=1, iterations=1,
+    )
+    print_and_store(
+        "fig5b",
+        f"Figure 5(b): strong/weak scaling over processes ({N_MACHINES} machines)",
+        rows,
+    )
+    series = {
+        name: [r for r in rows if r["Dataset"] == name]
+        for name in DATASET_NAMES
+    }
+    for name, pts in series.items():
+        benchmark.extra_info[name] = " -> ".join(
+            f"p{p['Procs/machine']}:{p['Strong thpt']}/{p['Weak thpt']}"
+            for p in pts
+        )
+    if assert_shapes():
+        for name, pts in series.items():
+            p1, p8 = pts[0], pts[-1]
+            strong_speedup = p8["Strong thpt"] / p1["Strong thpt"]
+            weak_speedup = p8["Weak thpt"] / p1["Weak thpt"]
+            # both scale meaningfully with 8x the processes...
+            assert strong_speedup > 2.0, (name, strong_speedup)
+            assert weak_speedup > 2.0, (name, weak_speedup)
+            # ...and the two modes stay within the same ballpark.  (The
+            # paper's weak > strong ordering comes from strong scaling
+            # starving at 128/16 = 8 queries per process; at bench scale
+            # both modes are near-linear and run-to-run measurement noise
+            # can put either ahead, so only a loose ratio is asserted.)
+            assert weak_speedup >= 0.4 * strong_speedup, (
+                name, strong_speedup, weak_speedup
+            )

@@ -1,0 +1,65 @@
+"""Extension ablation — inter-query RPC batching (MultiSSPPR).
+
+The paper batches RPCs within one query's iteration; this extension shares
+each iteration's per-shard fetch across a whole batch of queries advanced
+in lockstep (Section 3.1's production setting).  Measures throughput and
+RPC counts for the sequential engine vs the multi-query engine on identical
+query sets.
+"""
+
+import numpy as np
+
+from benchmarks.common import (
+    assert_shapes,
+    bench_scale,
+    engine_config,
+    get_sharded,
+    print_and_store,
+)
+from repro.engine import GraphEngine
+from repro.engine.query import sample_sources
+from repro.ppr import PPRParams
+
+DATASETS = ("products", "twitter")
+N_MACHINES = 4
+PARAMS = PPRParams()
+
+
+def run_dataset(name: str) -> dict:
+    scale = bench_scale()
+    sharded = get_sharded(name, N_MACHINES)
+    engine = GraphEngine(sharded.graph, engine_config(N_MACHINES),
+                         sharded=sharded)
+    sources = sample_sources(sharded, scale.queries, seed=61)
+    seq = engine.run_queries(sources=sources, params=PARAMS)
+    bat = engine.run_queries_batched(sources=sources, params=PARAMS)
+    return {
+        "Dataset": name,
+        "Queries": len(sources),
+        "Seq (q/s)": round(seq.throughput, 1),
+        "Batched (q/s)": round(bat.throughput, 1),
+        "Speedup": f"{bat.throughput / seq.throughput:.2f}x",
+        "Seq RPCs": seq.remote_requests,
+        "Batched RPCs": bat.remote_requests,
+        "RPC reduction": f"{seq.remote_requests / max(bat.remote_requests, 1):.1f}x",
+    }
+
+
+def test_multi_query_batching(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [run_dataset(name) for name in DATASETS],
+        rounds=1, iterations=1,
+    )
+    print_and_store(
+        "multi_query",
+        "Inter-query batching: sequential vs lockstep MultiSSPPR",
+        rows,
+    )
+    for row in rows:
+        benchmark.extra_info[row["Dataset"]] = (
+            f"speedup={row['Speedup']} rpc_reduction={row['RPC reduction']}"
+        )
+    if assert_shapes():
+        for row in rows:
+            assert row["Batched RPCs"] < row["Seq RPCs"], row
+            assert row["Batched (q/s)"] > 0.8 * row["Seq (q/s)"], row

@@ -1,0 +1,82 @@
+"""Ablation — partitioner quality and its effect on remote traffic.
+
+The paper attributes much of the engine's efficiency to METIS min-cut
+partitioning plus halo caching: "most of the nodes visited by the Forward
+Push algorithm are locally available via shared memory".  This bench
+quantifies that design choice: edge-cut fraction and the engine's measured
+remote-call share under our multilevel partitioner vs. the random / hash /
+BFS baselines.
+"""
+
+from benchmarks.common import (
+    assert_shapes,
+    bench_scale,
+    get_graph,
+    print_and_store,
+)
+from repro.engine import EngineConfig, GraphEngine
+from repro.partition import (
+    BfsPartitioner,
+    HashPartitioner,
+    MetisLitePartitioner,
+    RandomPartitioner,
+    edge_cut_fraction,
+)
+from repro.ppr import PPRParams
+from repro.storage import build_shards
+
+DATASET = "products"
+N_MACHINES = 4
+
+PARTITIONERS = (
+    ("metis_lite", lambda: MetisLitePartitioner(seed=0)),
+    ("bfs", lambda: BfsPartitioner(seed=0)),
+    ("hash", lambda: HashPartitioner()),
+    ("random", lambda: RandomPartitioner(seed=0)),
+)
+
+
+def run_partitioner(name: str, factory) -> dict:
+    scale = bench_scale()
+    graph = get_graph(DATASET)
+    result = factory().partition(graph, N_MACHINES)
+    sharded = build_shards(graph, result, seed=0)
+    cfg = EngineConfig(n_machines=N_MACHINES, partitioner=factory())
+    engine = GraphEngine(graph, cfg, sharded=sharded)
+    run = engine.run_queries(n_queries=scale.queries_small, seed=37,
+                             params=PPRParams())
+    remote_share = run.remote_requests / max(
+        run.remote_requests + run.local_calls, 1
+    )
+    return {
+        "Partitioner": name,
+        "Edge cut": round(edge_cut_fraction(graph, result), 3),
+        "Remote call share": round(remote_share, 3),
+        "Throughput (q/s)": round(run.throughput, 1),
+    }
+
+
+def test_partition_quality(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [run_partitioner(n, f) for n, f in PARTITIONERS],
+        rounds=1, iterations=1,
+    )
+    print_and_store(
+        "partition_quality",
+        f"Partitioner ablation on {DATASET} ({N_MACHINES} shards)",
+        rows,
+    )
+    by = {r["Partitioner"]: r for r in rows}
+    for name, row in by.items():
+        benchmark.extra_info[name] = (
+            f"cut={row['Edge cut']} remote={row['Remote call share']}"
+        )
+    if assert_shapes():
+        # min-cut partitioning slashes both the static cut and the dynamic
+        # remote traffic relative to random placement
+        assert by["metis_lite"]["Edge cut"] < 0.3 * by["random"]["Edge cut"]
+        assert (by["metis_lite"]["Remote call share"]
+                < by["random"]["Remote call share"])
+        # and the BFS baseline sits in between on cut quality
+        assert (by["metis_lite"]["Edge cut"]
+                <= by["bfs"]["Edge cut"] * 1.05)

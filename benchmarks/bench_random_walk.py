@@ -1,0 +1,61 @@
+"""Distributed random walk throughput (the Figure 4 right-panel workload).
+
+The paper's introduction measures Random Walk as the contrast case: a
+fixed-frontier algorithm that tensor operations already serve well (its
+engine gained only 1.7x there, vs 83x+ for Forward Push).  This bench
+reports the distributed walk throughput of our storage layer across
+machine counts — the workload stresses ``sample_one_neighbor`` batching
+rather than PPR operators.
+"""
+
+from benchmarks.common import (
+    assert_shapes,
+    bench_scale,
+    engine_config,
+    get_sharded,
+    print_and_store,
+)
+from repro.engine import GraphEngine
+
+DATASET = "products"
+WALK_LENGTH = 16
+MACHINE_COUNTS = (2, 4)
+
+
+def run_walks() -> list[dict]:
+    scale = bench_scale()
+    rows = []
+    for k in MACHINE_COUNTS:
+        sharded = get_sharded(DATASET, k)
+        engine = GraphEngine(sharded.graph, engine_config(k),
+                             sharded=sharded)
+        run = engine.run_random_walks(n_roots=scale.walk_roots,
+                                      walk_length=WALK_LENGTH, seed=59)
+        rows.append({
+            "Dataset": DATASET,
+            "Machines": k,
+            "Roots": len(run.roots),
+            "Walk length": WALK_LENGTH,
+            "Walks/s": round(run.throughput, 1),
+            "Steps/s": round(run.throughput * WALK_LENGTH, 1),
+        })
+    return rows
+
+
+def test_random_walk_throughput(benchmark):
+    rows = benchmark.pedantic(run_walks, rounds=1, iterations=1)
+    print_and_store(
+        "random_walk",
+        f"Distributed random walks on {DATASET} (length {WALK_LENGTH})",
+        rows,
+    )
+    for row in rows:
+        benchmark.extra_info[f"{row['Machines']}m"] = f"{row['Walks/s']} walks/s"
+    if assert_shapes():
+        assert all(row["Walks/s"] > 0 for row in rows)
+        # Walks are communication-bound: each step is one batched RPC
+        # round per machine pair, so adding machines adds server-side
+        # contention instead of useful parallelism (the compute per step
+        # is trivial).  Assert the runs stay within the same order of
+        # magnitude rather than a scaling win the workload cannot give.
+        assert rows[-1]["Walks/s"] > rows[0]["Walks/s"] * 0.25

@@ -1,0 +1,102 @@
+"""Shared benchmark infrastructure.
+
+Scale policy
+------------
+``REPRO_BENCH_SCALE`` selects how close each run is to the paper's setup:
+
+* ``tiny``  — CI smoke: ~4% of stand-in sizes, few queries (seconds);
+* ``small`` — 25% of stand-in sizes (quick iteration);
+* ``full``  — default: the full stand-in sizes and larger query batches.
+
+The default is ``full`` because several of the paper's orderings (Forward
+Push vs. power iteration, tensor |V|-proportional costs) only separate from
+interpreter noise once graphs reach the stand-in sizes; sub-scale runs
+print their tables but skip the shape assertions.
+
+Dataset generation and partitioning are cached per process (and graphs per
+disk cache), so sweeps reuse shards.  Every bench writes its result table to
+``benchmarks/results/<name>.txt`` for inspection and for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+
+from repro.engine import EngineConfig
+from repro.graph import load_dataset
+from repro.graph.stats import format_table
+from repro.partition import MetisLitePartitioner
+from repro.storage import build_shards
+
+DATASET_NAMES = ("products", "twitter", "friendster", "papers")
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    name: str
+    graph_scale: float     # multiplier on stand-in node counts
+    queries: int           # main query batch size
+    queries_small: int     # for expensive modes (Single ablation, tensor)
+    walk_roots: int
+
+
+_SCALES = {
+    "tiny": BenchScale("tiny", 0.04, 4, 2, 16),
+    "small": BenchScale("small", 0.25, 8, 4, 32),
+    "full": BenchScale("full", 1.0, 16, 8, 128),
+}
+
+
+def bench_scale() -> BenchScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "full").lower()
+    if name not in _SCALES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, got {name!r}"
+        )
+    return _SCALES[name]
+
+
+@lru_cache(maxsize=None)
+def get_graph(name: str):
+    """Dataset stand-in at the current bench scale (disk-cached)."""
+    return load_dataset(name, scale=bench_scale().graph_scale)
+
+
+@lru_cache(maxsize=None)
+def get_sharded(name: str, n_shards: int):
+    """Partitioned + shard-built graph, memoized per (dataset, K)."""
+    graph = get_graph(name)
+    result = MetisLitePartitioner(seed=0).partition(graph, n_shards)
+    return build_shards(graph, result, seed=0)
+
+
+def engine_config(n_machines: int, procs: int = 1, **kw) -> EngineConfig:
+    return EngineConfig(n_machines=n_machines, procs_per_machine=procs,
+                        partitioner=MetisLitePartitioner(seed=0), **kw)
+
+
+def assert_shapes() -> bool:
+    """Whether shape assertions should run (full scale only)."""
+    return bench_scale().name == "full"
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a bench's printable table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+def print_and_store(name: str, title: str, rows: list[dict]) -> str:
+    """Format rows, print them, persist them; returns the text."""
+    body = format_table(rows)
+    text = f"== {title} ==\n{body}"
+    print("\n" + text)
+    write_result(name, text)
+    return text

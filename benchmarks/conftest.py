@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+These modules measure *system behaviour* (virtual-time throughput, phase
+breakdowns), so each pytest-benchmark entry runs a small fixed number of
+rounds via ``benchmark.pedantic`` and reports the paper-comparable metrics
+through ``benchmark.extra_info`` and per-module result files under
+``benchmarks/results/``.
+"""
+
+import sys
+from pathlib import Path
+
+# Make `benchmarks.common` importable when pytest is invoked on this dir.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))

@@ -1,0 +1,60 @@
+"""GNN training with Personalized PageRank — the paper's Figure 7 case study.
+
+Trains a ShaDow-SAGE node classifier where every mini-batch subgraph is
+built on the fly from top-K SSPPR scores computed by the PPR engine:
+
+* one model replica per simulated machine (DistributedDataParallel style);
+* ego nodes are drawn from each machine's own shard (owner-compute rule);
+* features come from the cross-machine feature store;
+* gradients are averaged with an all-reduce every step, keeping replicas
+  synchronized.
+
+The task is community classification on a planted-partition graph: PPR
+neighborhoods concentrate inside communities, so the sampler feeds the
+model exactly the right context and accuracy climbs quickly.
+
+Run:  python examples/gnn_ppr_training.py
+"""
+
+from repro.engine import EngineConfig
+from repro.gnn import community_task, run_distributed_training
+from repro.graph import powerlaw_cluster
+from repro.partition import MetisLitePartitioner
+
+N_NODES = 3000
+N_COMMUNITIES = 8
+FEATURE_DIM = 16
+
+
+def main() -> None:
+    print(f"building a {N_NODES}-node graph with {N_COMMUNITIES} planted "
+          "communities...")
+    graph = powerlaw_cluster(N_NODES, 10, mixing=0.08,
+                             n_communities=N_COMMUNITIES, seed=7)
+    features, labels = community_task(N_NODES, N_COMMUNITIES, FEATURE_DIM,
+                                      noise=0.4, seed=8)
+    print(f"task: classify {N_COMMUNITIES} communities "
+          f"(random baseline = {1 / N_COMMUNITIES:.3f} accuracy)")
+
+    config = EngineConfig(n_machines=2,
+                          partitioner=MetisLitePartitioner(seed=0))
+    print("\ntraining ShaDow-SAGE on 2 machines, DDP gradient sync,"
+          "\ntop-24 PPR subgraphs sampled on the fly per ego node...\n")
+    history = run_distributed_training(
+        graph, features, labels, config,
+        n_steps=15, batch_size=8, topk=24, lr=2e-2, seed=9,
+    )
+
+    print(f"{'step':>4} {'loss':>8} {'acc':>6}")
+    for i, (loss, acc) in enumerate(zip(history.losses,
+                                        history.accuracies)):
+        print(f"{i:>4} {loss:>8.4f} {acc:>6.3f}")
+    print(f"\nfinal accuracy (last-5 mean): {history.final_accuracy():.3f}")
+    print(f"virtual training time: {history.makespan:.2f}s for "
+          f"{history.steps} steps x 2 replicas "
+          f"({2 * history.steps / history.makespan:.1f} steps/s)")
+    assert history.final_accuracy() > 2 / N_COMMUNITIES
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""RPC optimization walkthrough — Table 3 live, on a small graph.
+
+Runs the same SSPPR batch at each cumulative optimization level
+(Single -> +Batch -> +Compress -> +Overlap) and prints what changed and
+*why*, tying each step to the mechanism in the network cost model:
+
+* batching amortizes the fixed per-request RPC overhead;
+* CSR compression replaces a list of per-node tensors (each paying the
+  TensorPipe wrapping cost) with seven flat arrays, and switches local
+  fetches to the zero-copy VertexProp path;
+* overlap issues remote fetches before local work so waits hide.
+
+Run:  python examples/rpc_ablation_demo.py
+"""
+
+from repro import EngineConfig, GraphEngine, OptLevel, PPRParams, load_dataset
+
+EXPLANATIONS = {
+    OptLevel.SINGLE: "one RPC per activated vertex, per-node tensor lists",
+    OptLevel.BATCH: "one RPC per (iteration, destination shard)",
+    OptLevel.COMPRESS: "CSR responses (7 tensors/batch) + zero-copy local",
+    OptLevel.OVERLAP: "remote fetches issued before local fetch + push",
+}
+
+
+def main() -> None:
+    graph = load_dataset("friendster", scale=0.05)
+    print(f"friendster stand-in at 5%: {graph.n_nodes} nodes, "
+          f"{graph.n_arcs // 2} edges; 2 machines\n")
+    params = PPRParams(epsilon=1e-5)
+    engine = GraphEngine(graph, EngineConfig(n_machines=2))
+    sources = None
+    baseline = None
+
+    header = (f"{'level':<10} {'total(ms)':>10} {'speedup':>8} "
+              f"{'RPCs':>6} {'local(ms)':>10} {'remote(ms)':>11} "
+              f"{'push(ms)':>9}")
+    print(header)
+    print("-" * len(header))
+    for opt in (OptLevel.SINGLE, OptLevel.BATCH, OptLevel.COMPRESS,
+                OptLevel.OVERLAP):
+        engine.config.opt = opt
+        if sources is None:
+            from repro.engine.query import sample_sources
+            sources = sample_sources(engine.sharded, 4, seed=21)
+        run = engine.run_queries(sources=sources, params=params)
+        if baseline is None:
+            baseline = run.makespan
+        print(f"{opt.value:<10} {run.makespan * 1e3:>10.2f} "
+              f"{baseline / run.makespan:>7.1f}x {run.remote_requests:>6} "
+              f"{run.phases['local_fetch'] * 1e3:>10.2f} "
+              f"{run.phases['remote_fetch'] * 1e3:>11.2f} "
+              f"{run.phases['push'] * 1e3:>9.2f}")
+        print(f"{'':<10} ({EXPLANATIONS[opt]})")
+    print("\ncompare with the paper's Table 3: 7.1x / 26.2x / 35.7x "
+          "cumulative speedups on the full-size Friendster.")
+
+
+if __name__ == "__main__":
+    main()

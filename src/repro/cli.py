@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Downstream-friendly entry points for the preprocessing / query pipeline:
+
+* ``info``       — dataset/graph statistics (Table 1 style);
+* ``partition``  — partition a graph and persist the sharded result;
+* ``query``      — run an SSPPR batch against a graph or saved shards;
+* ``walk``       — run distributed random walks;
+* ``bench``      — a one-shot engine-vs-baselines comparison.
+
+Graphs are referenced either by stand-in dataset name
+(``products|twitter|friendster|papers``, with ``--scale``) or by a ``.npz``
+file written by :func:`repro.graph.io.save_npz`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine import EngineConfig, GraphEngine
+from repro.graph import load_dataset, load_npz
+from repro.graph.datasets import DATASETS
+from repro.graph.stats import compute_stats, format_table
+from repro.partition import MetisLitePartitioner
+from repro.ppr import PPRParams
+from repro.storage.persist import load_sharded, save_sharded
+
+
+def _load_graph(args) -> tuple[str, object]:
+    if args.graph in DATASETS:
+        return args.graph, load_dataset(args.graph, scale=args.scale)
+    path = Path(args.graph)
+    if not path.exists():
+        raise SystemExit(
+            f"error: {args.graph!r} is neither a dataset name "
+            f"({sorted(DATASETS)}) nor a file"
+        )
+    return path.stem, load_npz(path)
+
+
+def _add_graph_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("graph", help="dataset name or graph .npz path")
+    p.add_argument("--scale", type=float, default=0.1,
+                   help="stand-in scale when loading by name (default 0.1)")
+
+
+def cmd_info(args) -> int:
+    name, graph = _load_graph(args)
+    stats = compute_stats(name, graph)
+    print(format_table([stats.as_row()]))
+    print(f"isolated nodes: {stats.isolated_nodes}")
+    return 0
+
+
+def cmd_partition(args) -> int:
+    name, graph = _load_graph(args)
+    start = time.perf_counter()
+    partitioner = MetisLitePartitioner(seed=args.seed)
+    result = partitioner.partition(graph, args.machines)
+    from repro.partition import partition_quality
+    from repro.storage import build_shards
+
+    quality = partition_quality(graph, result)
+    sharded = build_shards(graph, result, seed=args.seed,
+                           halo_hops=args.halo_hops)
+    elapsed = time.perf_counter() - start
+    save_sharded(args.output, sharded, halo_hops=args.halo_hops)
+    print(f"partitioned {name} into {args.machines} shards in {elapsed:.1f}s")
+    print(f"edge cut: {quality.edge_cut:.3f}  balance: {quality.balance:.3f}")
+    for desc in sharded.describe():
+        print(f"  shard {desc['shard_id']}: {desc['n_core']} core, "
+              f"{desc['n_halo']} halo, {desc['memory_mb']:.1f} MB")
+    print(f"saved to {args.output}")
+    return 0
+
+
+def _engine_from_args(args) -> GraphEngine:
+    if args.shards:
+        sharded = load_sharded(args.shards)
+        cfg = EngineConfig(n_machines=sharded.n_shards,
+                           procs_per_machine=args.procs)
+        return GraphEngine(sharded.graph, cfg, sharded=sharded)
+    _, graph = _load_graph(args)
+    cfg = EngineConfig(n_machines=args.machines,
+                       procs_per_machine=args.procs)
+    return GraphEngine(graph, cfg)
+
+
+def cmd_query(args) -> int:
+    engine = _engine_from_args(args)
+    params = PPRParams(alpha=args.alpha, epsilon=args.epsilon)
+    runner = (engine.run_queries_batched if args.batch_queries
+              else engine.run_queries)
+    kwargs = {} if args.batch_queries else {"keep_states": args.top > 0}
+    run = runner(n_queries=args.queries, params=params, seed=args.seed,
+                 **kwargs)
+    print(f"{run.n_queries} SSPPR queries: {run.throughput:.1f} q/s "
+          f"(virtual), makespan {run.makespan * 1e3:.2f} ms")
+    print(f"phases: " + ", ".join(
+        f"{k}={v * 1e3:.2f}ms" for k, v in run.phases.items()
+    ))
+    print(f"RPC: {run.remote_requests} remote, {run.local_calls} local")
+    if args.top > 0 and run.states:
+        gid, state = next(iter(run.states.items()))
+        gids, values = state.results_global(engine.sharded)
+        order = np.argsort(-values)[: args.top]
+        print(f"top-{args.top} for source {gid}: "
+              + ", ".join(f"{gids[i]}({values[i]:.4f})" for i in order))
+    return 0
+
+
+def cmd_walk(args) -> int:
+    engine = _engine_from_args(args)
+    run = engine.run_random_walks(n_roots=args.roots,
+                                  walk_length=args.length, seed=args.seed)
+    print(f"{len(run.roots)} walks of length {args.length}: "
+          f"{run.throughput:.0f} walks/s (virtual)")
+    for row in run.walks[: min(3, len(run.walks))]:
+        print("  " + " -> ".join(str(int(v)) for v in row))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    engine = _engine_from_args(args)
+    params = PPRParams(alpha=args.alpha, epsilon=args.epsilon)
+    run_e = engine.run_queries(n_queries=args.queries, params=params,
+                               seed=args.seed, keep_states=True)
+    sources = np.array(sorted(run_e.states))
+    run_t = engine.run_tensor_queries(sources=sources, params=params,
+                                      seed=args.seed)
+    run_b = engine.run_queries_batched(sources=sources, params=params,
+                                       seed=args.seed)
+    print(f"{'implementation':<24} {'q/s':>10} {'RPCs':>8}")
+    for label, run in (("PPR Engine", run_e),
+                       ("PPR Engine (multi-query)", run_b),
+                       ("PyTorch-Tensor baseline", run_t)):
+        print(f"{label:<24} {run.throughput:>10.1f} {run.remote_requests:>8}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="graph statistics")
+    _add_graph_args(p)
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("partition", help="partition + persist shards")
+    _add_graph_args(p)
+    p.add_argument("--machines", type=int, default=4)
+    p.add_argument("--halo-hops", type=int, default=1, choices=(1, 2))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", default="sharded.npz")
+    p.set_defaults(fn=cmd_partition)
+
+    def add_engine_args(p):
+        _add_graph_args(p)
+        p.add_argument("--shards", default=None,
+                       help="load a saved sharded graph instead")
+        p.add_argument("--machines", type=int, default=4)
+        p.add_argument("--procs", type=int, default=1)
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("query", help="run SSPPR queries")
+    add_engine_args(p)
+    p.add_argument("--queries", type=int, default=16)
+    p.add_argument("--alpha", type=float, default=0.462)
+    p.add_argument("--epsilon", type=float, default=1e-6)
+    p.add_argument("--top", type=int, default=10,
+                   help="print top-K PPR of one query (0 = off)")
+    p.add_argument("--batch-queries", action="store_true",
+                   help="inter-query batching (MultiSSPPR)")
+    p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser("walk", help="run distributed random walks")
+    add_engine_args(p)
+    p.add_argument("--roots", type=int, default=16)
+    p.add_argument("--length", type=int, default=8)
+    p.set_defaults(fn=cmd_walk)
+
+    p = sub.add_parser("bench", help="engine vs baselines, one shot")
+    add_engine_args(p)
+    p.add_argument("--queries", type=int, default=8)
+    p.add_argument("--alpha", type=float, default=0.462)
+    p.add_argument("--epsilon", type=float, default=1e-6)
+    p.set_defaults(fn=cmd_bench)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""``repro.engine`` — the distributed PPR engine facade.
+
+Ties the substrates together into the system of Figure 1:
+
+* :class:`EngineConfig` — machines, computing processes per machine,
+  partitioner, network model, RPC optimization level;
+* :class:`GraphEngine` — partition the input graph, build shards, and run
+  batches of SSPPR queries / random walks / tensor-baseline queries on a
+  simulated cluster, returning throughput, virtual makespan, and the
+  per-phase runtime breakdowns used by Figure 6 and Table 3.
+
+The cluster layout matches the paper's simulation: ``K`` machines, each
+hosting one Graph Storage server process (its shard in shared memory) and
+``P`` SSPPR computing processes; queries are dispatched to the machine
+owning their source node (the owner-compute rule).
+"""
+
+from repro.engine.breakdown import PHASES, aggregate_breakdowns, phase_seconds
+from repro.engine.config import EngineConfig
+from repro.engine.engine import GraphEngine, QueryRunResult
+
+__all__ = [
+    "EngineConfig",
+    "GraphEngine",
+    "PHASES",
+    "QueryRunResult",
+    "aggregate_breakdowns",
+    "phase_seconds",
+]

@@ -1,0 +1,46 @@
+"""Mapping raw timing categories onto the paper's breakdown phases.
+
+Processes accumulate low-level categories while running (``local_call``,
+``local_exec``, ``rpc_issue``, ``wait``, ``pop``, ``push``); Figure 6 and
+Table 3 report four phases:
+
+* **local_fetch**  = binding-layer overhead + local handler execution;
+* **remote_fetch** = request issue overhead + time blocked on remote
+  futures (with overlap on, the blocked time shrinks because local work
+  happens while requests are in flight);
+* **push**         = the PPR operators' update time;
+* **pop**          = activated-set retrieval (negligible for the hashmap
+  engine, |V|-proportional for the tensor baseline).
+"""
+
+from __future__ import annotations
+
+from repro.utils.timer import TimeBreakdown
+
+#: phase -> contributing low-level categories
+PHASES: dict[str, tuple[str, ...]] = {
+    "local_fetch": ("local_call", "local_exec"),
+    "remote_fetch": ("rpc_issue", "wait"),
+    "push": ("push",),
+    "pop": ("pop",),
+}
+
+
+def phase_seconds(breakdown: TimeBreakdown) -> dict[str, float]:
+    """Collapse a raw breakdown into the paper's four phases."""
+    out = {}
+    for phase, categories in PHASES.items():
+        out[phase] = sum(breakdown.get(c) for c in categories)
+    accounted = {c for cats in PHASES.values() for c in cats}
+    out["other"] = sum(
+        dt for cat, dt in breakdown.seconds.items() if cat not in accounted
+    )
+    return out
+
+
+def aggregate_breakdowns(breakdowns: list[TimeBreakdown]) -> dict[str, float]:
+    """Sum phase seconds across processes (the per-run totals the paper plots)."""
+    total = TimeBreakdown()
+    for bd in breakdowns:
+        total.merge(bd)
+    return phase_seconds(total)

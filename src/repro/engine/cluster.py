@@ -1,0 +1,77 @@
+"""Cluster bring-up: one RPC group per query run.
+
+Builds a fresh scheduler + RPC context, registers one storage server per
+machine hosting that machine's :class:`~repro.storage.shard.GraphShard`, and
+hands back the RRef list every computing process receives (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from repro.engine.config import EngineConfig
+from repro.errors import SimulationError
+from repro.rpc.api import RpcContext
+from repro.rpc.rref import RRef
+from repro.simt.scheduler import Scheduler
+from repro.storage.build import ShardedGraph
+
+
+class SimCluster:
+    """A simulated K-machine deployment of one sharded graph."""
+
+    def __init__(self, sharded: ShardedGraph, config: EngineConfig) -> None:
+        if sharded.n_shards != config.n_shards:
+            raise SimulationError(
+                f"graph has {sharded.n_shards} shards but config expects "
+                f"{config.n_shards} machines"
+            )
+        self.sharded = sharded
+        self.config = config
+        self.scheduler = Scheduler()
+        tracer = None
+        if config.trace_rpc:
+            from repro.rpc.tracing import RpcTracer
+
+            tracer = RpcTracer()
+        self.ctx = RpcContext(self.scheduler, config.network, tracer=tracer)
+        self.rrefs: list[RRef] = []
+        self._compute_names: list[str] = []
+        self._bring_up()
+
+    def _bring_up(self) -> None:
+        cfg = self.config
+        for m in range(cfg.n_machines):
+            self.ctx.register_server(cfg.server_name(m), m)
+            rref = self.ctx.create_remote(
+                cfg.server_name(m), "storage",
+                lambda shard=self.sharded.shards[m]: shard,
+            )
+            self.rrefs.append(rref)
+
+    def spawn_compute(self, machine: int, proc_index: int, body) -> str:
+        """Spawn one computing process coroutine; returns its worker name.
+
+        With ``colocate_server`` on, each machine's server shares the
+        interpreter of its first computing process (the GIL-contention
+        ablation): the server's service time is also charged to that
+        process's clock.
+        """
+        name = self.config.worker_name(machine, proc_index)
+        proc = self.scheduler.spawn(name, body)
+        self.ctx.register_worker(name, machine, proc)
+        self._compute_names.append(name)
+        if self.config.colocate_server and proc_index == 0:
+            self.ctx.server_of(self.config.server_name(machine)).host_process = proc
+        return name
+
+    def run(self) -> float:
+        """Drain the event loop; return the compute makespan (virtual s)."""
+        self.scheduler.run()
+        if not self._compute_names:
+            return 0.0
+        return self.scheduler.makespan(self._compute_names)
+
+    def compute_processes(self):
+        return [self.scheduler.processes[n] for n in self._compute_names]
+
+    def results(self) -> dict[str, object]:
+        return {n: self.scheduler.result_of(n) for n in self._compute_names}

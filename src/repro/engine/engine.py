@@ -1,0 +1,360 @@
+"""The public engine facade.
+
+Typical use::
+
+    from repro.engine import EngineConfig, GraphEngine
+    from repro.graph import load_dataset
+
+    graph = load_dataset("products", scale=0.1)
+    engine = GraphEngine(graph, EngineConfig(n_machines=4))
+    run = engine.run_queries(n_queries=64)
+    print(run.throughput, run.phases)
+
+``GraphEngine`` partitions once (preprocessing, amortized across runs) and
+deploys a fresh simulated cluster per query batch so virtual clocks start
+at zero — matching the paper's repeated-run measurement protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.breakdown import aggregate_breakdowns
+from repro.engine.cluster import SimCluster
+from repro.engine.config import EngineConfig
+from repro.engine.query import (
+    assign_queries,
+    multi_query_driver,
+    multi_query_tensor_driver,
+    sample_sources,
+)
+from repro.graph.csr import CSRGraph
+from repro.ppr.params import PPRParams
+from repro.storage.build import ShardedGraph, build_shards
+from repro.storage.dist_storage import DistGraphStorage
+from repro.walk.random_walk import distributed_random_walk
+
+
+@dataclass
+class QueryRunResult:
+    """Outcome of one batched query run."""
+
+    n_queries: int
+    makespan: float               # virtual seconds, max over compute procs
+    throughput: float             # queries / virtual second
+    phases: dict[str, float]      # aggregated Figure 6 / Table 3 phases
+    per_proc_clocks: dict[str, float]
+    remote_requests: int
+    local_calls: int
+    #: source global id -> finished SSPPR / DenseSSPPR state
+    states: dict[int, object] = field(repr=False, default_factory=dict)
+    #: RpcTracer when the config asked for tracing, else None
+    trace: object = field(repr=False, default=None)
+    #: per-query virtual latency keyed by source global ID (engine runs)
+    latencies: dict[int, float] = field(repr=False, default_factory=dict)
+
+    def latency_percentiles(self, q=(50, 90, 99)) -> dict[int, float]:
+        """Virtual per-query latency percentiles in seconds."""
+        if not self.latencies:
+            return {p: 0.0 for p in q}
+        arr = np.array(list(self.latencies.values()))
+        return {p: float(np.percentile(arr, p)) for p in q}
+
+    def phase_ratios(self) -> dict[str, float]:
+        """Phases normalized by their sum (Figure 6's stacked ratios)."""
+        total = sum(self.phases.values())
+        if total <= 0:
+            return {k: 0.0 for k in self.phases}
+        return {k: v / total for k, v in self.phases.items()}
+
+
+class GraphEngine:
+    """Partition, deploy, and query a graph on a simulated cluster."""
+
+    def __init__(self, graph: CSRGraph, config: EngineConfig | None = None,
+                 *, sharded: ShardedGraph | None = None) -> None:
+        self.config = config if config is not None else EngineConfig()
+        self.graph = graph
+        if sharded is not None:
+            if sharded.n_shards != self.config.n_shards:
+                raise ValueError(
+                    f"prebuilt shards ({sharded.n_shards}) != config "
+                    f"machines ({self.config.n_shards})"
+                )
+            self.sharded = sharded
+        else:
+            result = self.config.partitioner.partition(
+                graph, self.config.n_shards
+            )
+            self.sharded = build_shards(graph, result,
+                                        seed=self.config.seed,
+                                        halo_hops=self.config.halo_hops)
+
+    # -- SSPPR -------------------------------------------------------------
+    def run_queries(self, n_queries: int | None = None, *,
+                    sources: np.ndarray | None = None,
+                    params: PPRParams | None = None,
+                    keep_states: bool = False,
+                    seed: int | None = None) -> QueryRunResult:
+        """Run a batch of SSPPR queries on the PPR Engine."""
+        return self._run(n_queries, sources, params, keep_states, seed,
+                         tensor=False)
+
+    def run_queries_batched(self, n_queries: int | None = None, *,
+                            sources: np.ndarray | None = None,
+                            params: PPRParams | None = None,
+                            seed: int | None = None) -> QueryRunResult:
+        """Run SSPPR with inter-query batching (one MultiSSPPR per process).
+
+        Each computing process advances its whole query chunk in lockstep,
+        sharing every iteration's per-shard RPC across queries — trading a
+        little extra state for far fewer, larger messages.  Results land in
+        ``states`` keyed by source global ID like :meth:`run_queries`.
+        """
+        from repro.engine.query import multi_query_batched_driver
+
+        cfg = self.config
+        params = params if params is not None else PPRParams()
+        seed = cfg.seed if seed is None else seed
+        if sources is None:
+            if n_queries is None:
+                raise ValueError("pass n_queries or sources")
+            sources = sample_sources(self.sharded, n_queries, seed=seed)
+        sources = np.asarray(sources, dtype=np.int64)
+
+        cluster = SimCluster(self.sharded, cfg)
+        assignment = assign_queries(self.sharded, sources,
+                                    cfg.procs_per_machine)
+        states: dict[int, object] = {}
+        for (machine, proc_index), chunk in assignment.items():
+            name = cfg.worker_name(machine, proc_index)
+            g = DistGraphStorage(cluster.rrefs, machine, name, compress=True)
+            body = multi_query_batched_driver(
+                g, _late_proc(cluster, name), chunk, self.sharded, params,
+                collect=states,
+            )
+            cluster.spawn_compute(machine, proc_index, body)
+        makespan = cluster.run()
+        procs = cluster.compute_processes()
+        phases = aggregate_breakdowns([p.breakdown for p in procs])
+        return QueryRunResult(
+            n_queries=len(sources),
+            makespan=makespan,
+            throughput=len(sources) / makespan if makespan > 0 else float("inf"),
+            phases=phases,
+            per_proc_clocks={p.name: p.clock for p in procs},
+            remote_requests=cluster.ctx.remote_requests,
+            local_calls=cluster.ctx.local_calls,
+            states=states,
+            trace=cluster.ctx.tracer,
+        )
+
+    def run_tensor_queries(self, n_queries: int | None = None, *,
+                           sources: np.ndarray | None = None,
+                           params: PPRParams | None = None,
+                           keep_states: bool = False,
+                           seed: int | None = None) -> QueryRunResult:
+        """Run the same batch on the dense tensor baseline."""
+        return self._run(n_queries, sources, params, keep_states, seed,
+                         tensor=True)
+
+    def _run(self, n_queries, sources, params, keep_states, seed,
+             *, tensor: bool) -> QueryRunResult:
+        cfg = self.config
+        params = params if params is not None else PPRParams()
+        seed = cfg.seed if seed is None else seed
+        if sources is None:
+            if n_queries is None:
+                raise ValueError("pass n_queries or sources")
+            sources = sample_sources(self.sharded, n_queries, seed=seed)
+        sources = np.asarray(sources, dtype=np.int64)
+
+        cluster = SimCluster(self.sharded, cfg)
+        assignment = assign_queries(self.sharded, sources,
+                                    cfg.procs_per_machine)
+        states: dict[int, object] = {}
+        latencies: dict[int, float] = {}
+        collect = states if keep_states else None
+        for (machine, proc_index), chunk in assignment.items():
+            name = cfg.worker_name(machine, proc_index)
+            g = DistGraphStorage(cluster.rrefs, machine, name,
+                                 compress=(True if tensor
+                                           else cfg.opt.compressed))
+            if tensor:
+                body = multi_query_tensor_driver(
+                    g, _late_proc(cluster, name), chunk, self.sharded,
+                    params, collect=collect,
+                )
+            else:
+                body = multi_query_driver(
+                    g, _late_proc(cluster, name), chunk, self.sharded,
+                    params, opt=cfg.opt, collect=collect,
+                    latencies=latencies,
+                )
+            cluster.spawn_compute(machine, proc_index, body)
+
+        makespan = cluster.run()
+        procs = cluster.compute_processes()
+        phases = aggregate_breakdowns([p.breakdown for p in procs])
+        return QueryRunResult(
+            n_queries=len(sources),
+            makespan=makespan,
+            throughput=len(sources) / makespan if makespan > 0 else float("inf"),
+            phases=phases,
+            per_proc_clocks={p.name: p.clock for p in procs},
+            remote_requests=cluster.ctx.remote_requests,
+            local_calls=cluster.ctx.local_calls,
+            states=states,
+            trace=cluster.ctx.tracer,
+            latencies=latencies,
+        )
+
+    # -- random walks ---------------------------------------------------------
+    def run_random_walks(self, n_roots: int, walk_length: int, *,
+                         seed: int | None = None) -> "WalkRunResult":
+        """Distributed random walks (Figure 4 right)."""
+        cfg = self.config
+        seed = cfg.seed if seed is None else seed
+        roots = sample_sources(self.sharded, n_roots, seed=seed)
+        cluster = SimCluster(self.sharded, cfg)
+        assignment = assign_queries(self.sharded, roots,
+                                    cfg.procs_per_machine)
+        walks: dict[str, np.ndarray] = {}
+        roots_by_proc: dict[str, np.ndarray] = {}
+        for (machine, proc_index), chunk in assignment.items():
+            name = cfg.worker_name(machine, proc_index)
+            g = DistGraphStorage(cluster.rrefs, machine, name, compress=True)
+            body = distributed_random_walk(
+                g, _late_proc(cluster, name), chunk, self.sharded,
+                walk_length,
+            )
+            cluster.spawn_compute(machine, proc_index, body)
+            roots_by_proc[name] = chunk
+        makespan = cluster.run()
+        for name in roots_by_proc:
+            walks[name] = cluster.scheduler.result_of(name)
+        summary = np.concatenate([walks[n] for n in sorted(walks)], axis=0)
+        all_roots = np.concatenate(
+            [roots_by_proc[n] for n in sorted(roots_by_proc)]
+        )
+        return WalkRunResult(
+            roots=all_roots,
+            walks=summary,
+            makespan=makespan,
+            throughput=len(all_roots) / makespan if makespan > 0 else float("inf"),
+        )
+
+    # -- other graph algorithms (engine generality) ---------------------------
+    def run_bfs(self, source_global: int) -> tuple[np.ndarray, float]:
+        """Distributed BFS from ``source_global``.
+
+        Returns ``(hop_distances, makespan)`` — distances are a dense |V|
+        vector with -1 for unreached nodes.  Runs on the machine owning the
+        source (owner-compute rule).
+        """
+        from repro.walk.bfs import distributed_bfs
+
+        cfg = self.config
+        machine = int(self.sharded.owner_shard[source_global])
+        source_local = int(self.sharded.owner_local[source_global])
+        cluster = SimCluster(self.sharded, cfg)
+        name = cfg.worker_name(machine, 0)
+        g = DistGraphStorage(cluster.rrefs, machine, name, compress=True)
+        proxy = _late_proc(cluster, name)
+
+        def body():
+            state = yield from distributed_bfs(g, proxy, source_local)
+            return state
+
+        cluster.spawn_compute(machine, 0, body())
+        makespan = cluster.run()
+        state = cluster.scheduler.result_of(name)
+        return state.dense_depths(self.sharded, self.graph.n_nodes), makespan
+
+    def run_wcc(self) -> tuple[np.ndarray, float]:
+        """Distributed weakly-connected components (all machines).
+
+        Returns ``(labels, makespan)`` — labels are canonical per-component
+        minimum global IDs.
+        """
+        from repro.walk.wcc import distributed_wcc
+
+        cfg = self.config
+        cluster = SimCluster(self.sharded, cfg)
+        names = []
+        for m in range(cfg.n_machines):
+            name = cfg.worker_name(m, 0)
+            g = DistGraphStorage(cluster.rrefs, m, name, compress=True)
+            seeds = np.arange(self.sharded.shards[m].n_core)
+            proxy = _late_proc(cluster, name)
+
+            def body(g=g, seeds=seeds, proxy=proxy):
+                state = yield from distributed_wcc(g, proxy, seeds)
+                return state
+
+            cluster.spawn_compute(m, 0, body())
+            names.append(name)
+        makespan = cluster.run()
+        labels = np.full(self.graph.n_nodes, np.iinfo(np.int64).max,
+                         dtype=np.int64)
+        for name in names:
+            state = cluster.scheduler.result_of(name)
+            keys, labs = state.results()
+            gids = self.sharded.global_of(keys // self.sharded.n_shards,
+                                          keys % self.sharded.n_shards)
+            np.minimum.at(labels, gids, labs)
+        # Canonicalize: label = min global ID within each class.  Every
+        # core node is seeded, so all nodes are touched.
+        out = np.empty(self.graph.n_nodes, dtype=np.int64)
+        for lab in np.unique(labels):
+            members = np.flatnonzero(labels == lab)
+            out[members] = members.min()
+        return out, makespan
+
+
+@dataclass
+class WalkRunResult:
+    """Outcome of one distributed random-walk batch."""
+
+    roots: np.ndarray
+    walks: np.ndarray     # (n_roots, walk_length) global IDs
+    makespan: float
+    throughput: float
+
+
+class _late_proc:
+    """Proxy handing the driver its own SimProcess once spawned.
+
+    Driver generators need their process handle for ``measured()``, but the
+    process object only exists after ``spawn``.  Generators are lazy — by
+    the time the body first executes, the process is registered, and this
+    proxy resolves it on first attribute access.
+    """
+
+    __slots__ = ("_cluster", "_name", "_proc")
+
+    def __init__(self, cluster: SimCluster, name: str) -> None:
+        self._cluster = cluster
+        self._name = name
+        self._proc = None
+
+    def _resolve(self):
+        if self._proc is None:
+            self._proc = self._cluster.scheduler.processes[self._name]
+        return self._proc
+
+    def measured(self, category: str):
+        return self._resolve().measured(category)
+
+    def charge_seconds(self, dt: float, category: str = "other") -> None:
+        self._resolve().charge_seconds(dt, category)
+
+    @property
+    def breakdown(self):
+        return self._resolve().breakdown
+
+    @property
+    def clock(self) -> float:
+        return self._resolve().clock

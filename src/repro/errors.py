@@ -1,0 +1,34 @@
+"""Exception hierarchy for the repro graph engine.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch engine errors without masking programming mistakes (``TypeError`` /
+``ValueError`` raised by validation keep their builtin types).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all repro-specific errors."""
+
+
+class GraphFormatError(ReproError):
+    """A graph container was built from inconsistent arrays."""
+
+
+class PartitionError(ReproError):
+    """Graph partitioning failed or produced an invalid assignment."""
+
+
+class ShardError(ReproError):
+    """A graph shard was queried with IDs it does not own."""
+
+
+class RpcError(ReproError):
+    """An RPC could not be dispatched or its handler raised."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event runtime reached an invalid state (e.g. deadlock)."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver exceeded its iteration budget."""

@@ -1,0 +1,43 @@
+"""Graph persistence as compressed ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+
+_FORMAT_VERSION = 1
+
+
+def save_npz(path, graph: CSRGraph) -> None:
+    """Write a :class:`CSRGraph` to ``path`` (npz, compressed)."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        n_nodes=np.int64(graph.n_nodes),
+        indptr=graph.indptr,
+        indices=graph.indices,
+        weights=graph.weights,
+    )
+
+
+def load_npz(path) -> CSRGraph:
+    """Read a :class:`CSRGraph` written by :func:`save_npz`."""
+    path = Path(path)
+    with np.load(path) as data:
+        try:
+            version = int(data["version"])
+            if version != _FORMAT_VERSION:
+                raise GraphFormatError(
+                    f"unsupported graph file version {version} in {path}"
+                )
+            return CSRGraph(
+                int(data["n_nodes"]), data["indptr"], data["indices"],
+                data["weights"],
+            )
+        except KeyError as exc:
+            raise GraphFormatError(f"malformed graph file {path}: {exc}") from None

@@ -1,0 +1,69 @@
+"""Graph statistics — regenerates the shape of Table 1.
+
+``table1_rows`` produces, for each stand-in dataset, the columns the paper
+reports: |V|, |E| (undirected edge count), average degree, and max degree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics in the shape of the paper's Table 1."""
+
+    name: str
+    n_nodes: int
+    n_edges: int          # undirected edges (arcs / 2)
+    avg_degree: float     # arcs / nodes, matching the paper's d_avg
+    max_degree: int
+    isolated_nodes: int
+
+    def as_row(self) -> dict:
+        """Plain-dict row for table printing."""
+        return {
+            "Name": self.name,
+            "|V|": self.n_nodes,
+            "|E|": self.n_edges,
+            "d_avg": round(self.avg_degree, 1),
+            "d_max": self.max_degree,
+        }
+
+
+def compute_stats(name: str, graph: CSRGraph) -> GraphStats:
+    """Compute Table-1-style statistics for one graph."""
+    degrees = graph.out_degree()
+    return GraphStats(
+        name=name,
+        n_nodes=graph.n_nodes,
+        n_edges=graph.n_arcs // 2,
+        avg_degree=float(graph.n_arcs / graph.n_nodes) if graph.n_nodes else 0.0,
+        max_degree=int(degrees.max()) if graph.n_nodes else 0,
+        isolated_nodes=int(np.count_nonzero(degrees == 0)),
+    )
+
+
+def table1_rows(graphs: dict[str, CSRGraph]) -> list[dict]:
+    """Table 1 rows for a mapping of dataset name -> graph."""
+    return [compute_stats(name, g).as_row() for name, g in graphs.items()]
+
+
+def format_table(rows: list[dict]) -> str:
+    """Render rows as an aligned text table (used by benches/examples)."""
+    if not rows:
+        return "(empty table)"
+    headers = list(rows[0].keys())
+    cols = {h: [str(r.get(h, "")) for r in rows] for h in headers}
+    widths = {h: max(len(h), *(len(v) for v in cols[h])) for h in headers}
+    lines = [
+        "  ".join(h.ljust(widths[h]) for h in headers),
+        "  ".join("-" * widths[h] for h in headers),
+    ]
+    for r in rows:
+        lines.append("  ".join(str(r.get(h, "")).ljust(widths[h]) for h in headers))
+    return "\n".join(lines)

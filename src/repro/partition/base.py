@@ -1,0 +1,72 @@
+"""Partitioner interface and partition-assignment container."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.graph.csr import CSRGraph
+
+
+class PartitionResult:
+    """A validated assignment of every node to one of ``n_parts`` shards."""
+
+    __slots__ = ("assignment", "n_parts")
+
+    def __init__(self, assignment: np.ndarray, n_parts: int) -> None:
+        assignment = np.asarray(assignment, dtype=np.int64)
+        if assignment.ndim != 1:
+            raise PartitionError(f"assignment must be 1-D, got {assignment.shape}")
+        if n_parts <= 0:
+            raise PartitionError(f"n_parts must be > 0, got {n_parts}")
+        if len(assignment) and (assignment.min() < 0
+                                or assignment.max() >= n_parts):
+            raise PartitionError(
+                f"assignment values must be in [0, {n_parts}), got "
+                f"[{assignment.min()}, {assignment.max()}]"
+            )
+        self.assignment = assignment
+        self.n_parts = int(n_parts)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.assignment)
+
+    def part_sizes(self) -> np.ndarray:
+        """Node count per part (length ``n_parts``)."""
+        return np.bincount(self.assignment, minlength=self.n_parts)
+
+    def nodes_of(self, part: int) -> np.ndarray:
+        """Global node IDs assigned to ``part``, ascending."""
+        if not 0 <= part < self.n_parts:
+            raise PartitionError(f"part {part} out of range [0, {self.n_parts})")
+        return np.flatnonzero(self.assignment == part)
+
+    def nonempty(self) -> bool:
+        """Whether every part received at least one node."""
+        return bool(np.all(self.part_sizes() > 0))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PartitionResult(n_nodes={self.n_nodes}, n_parts={self.n_parts}, "
+            f"sizes={self.part_sizes().tolist()})"
+        )
+
+
+class Partitioner(abc.ABC):
+    """Strategy interface: map a graph to a :class:`PartitionResult`."""
+
+    @abc.abstractmethod
+    def partition(self, graph: CSRGraph, n_parts: int) -> PartitionResult:
+        """Partition ``graph`` into ``n_parts`` shards."""
+
+    @staticmethod
+    def _check_args(graph: CSRGraph, n_parts: int) -> None:
+        if n_parts <= 0:
+            raise PartitionError(f"n_parts must be > 0, got {n_parts}")
+        if n_parts > max(graph.n_nodes, 1):
+            raise PartitionError(
+                f"cannot split {graph.n_nodes} nodes into {n_parts} parts"
+            )

@@ -1,0 +1,123 @@
+"""Graph coarsening by heavy-edge mutual matching.
+
+Each coarsening level contracts a matching of the current graph: every node
+proposes its heaviest-weight unmatched neighbor, and mutual proposals are
+contracted into one coarse node.  Mutual matching is fully vectorizable and
+removes 30-50% of nodes per level on typical graphs — the same mechanism
+(and rationale: heavy edges should not be cut, so hide them inside coarse
+nodes) as METIS's HEM phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.csr import CSRGraph
+
+
+@dataclass
+class CoarseLevel:
+    """One level of the multilevel hierarchy."""
+
+    graph: CSRGraph
+    node_weights: np.ndarray      # original nodes folded into each coarse node
+    fine_to_coarse: np.ndarray    # maps finer-level IDs -> this level's IDs
+
+
+def heaviest_neighbor(graph: CSRGraph, eligible: np.ndarray) -> np.ndarray:
+    """For each node, its heaviest eligible neighbor (-1 if none).
+
+    ``eligible`` is a boolean mask over nodes; arcs to ineligible nodes are
+    ignored.  Ties break toward the larger neighbor ID (lexsort order),
+    deterministically.
+    """
+    n = graph.n_nodes
+    proposal = np.full(n, -1, dtype=np.int64)
+    if graph.n_arcs == 0:
+        return proposal
+    row = np.repeat(np.arange(n), np.diff(graph.indptr))
+    col = graph.indices
+    w = graph.weights
+    mask = eligible[row] & eligible[col]
+    if not mask.any():
+        return proposal
+    row, col, w = row[mask], col[mask], w[mask]
+    # Sort by (row, weight, col); the last entry per row is the proposal.
+    order = np.lexsort((col, w, row))
+    row, col = row[order], col[order]
+    last = np.empty(len(row), dtype=bool)
+    last[-1] = True
+    last[:-1] = row[1:] != row[:-1]
+    proposal[row[last]] = col[last]
+    return proposal
+
+
+def match_mutual(graph: CSRGraph, *, rounds: int = 3) -> np.ndarray:
+    """Heavy-edge mutual matching; returns ``mate`` array (-1 = unmatched)."""
+    n = graph.n_nodes
+    mate = np.full(n, -1, dtype=np.int64)
+    for _ in range(rounds):
+        eligible = mate == -1
+        if not eligible.any():
+            break
+        proposal = heaviest_neighbor(graph, eligible)
+        has = proposal >= 0
+        ids = np.flatnonzero(has)
+        # mutual: proposal[proposal[i]] == i, count each pair once (i < mate)
+        mutual = ids[proposal[proposal[ids]] == ids]
+        mutual = mutual[mutual < proposal[mutual]]
+        mate[mutual] = proposal[mutual]
+        mate[proposal[mutual]] = mutual
+    return mate
+
+
+def contract(graph: CSRGraph, node_weights: np.ndarray,
+             mate: np.ndarray) -> CoarseLevel:
+    """Contract matched pairs into coarse nodes, summing parallel edges."""
+    n = graph.n_nodes
+    # Cluster representative: min(i, mate[i]) for matched, i for unmatched.
+    rep = np.arange(n)
+    matched = mate >= 0
+    rep[matched] = np.minimum(rep[matched], mate[matched])
+    reps, fine_to_coarse = np.unique(rep, return_inverse=True)
+    n_coarse = len(reps)
+
+    coarse_weights = np.zeros(n_coarse)
+    np.add.at(coarse_weights, fine_to_coarse, node_weights)
+
+    if graph.n_arcs:
+        row = fine_to_coarse[np.repeat(np.arange(n), np.diff(graph.indptr))]
+        col = fine_to_coarse[graph.indices]
+        keep = row != col  # intra-cluster arcs disappear
+        adj = sp.coo_matrix(
+            (graph.weights[keep], (row[keep], col[keep])),
+            shape=(n_coarse, n_coarse),
+        ).tocsr()
+        adj.sum_duplicates()
+        coarse = CSRGraph.from_scipy(adj)
+    else:
+        coarse = CSRGraph.from_edges(n_coarse, [], [])
+    return CoarseLevel(coarse, coarse_weights, fine_to_coarse)
+
+
+def coarsen_to(graph: CSRGraph, target_nodes: int,
+               *, max_levels: int = 30) -> list[CoarseLevel]:
+    """Build the multilevel hierarchy down to ~``target_nodes``.
+
+    Returns levels ordered fine -> coarse; level 0 is the input graph with
+    unit node weights and an identity map.  Stops early when matching can no
+    longer shrink the graph by at least 5%.
+    """
+    levels = [CoarseLevel(graph, np.ones(graph.n_nodes),
+                          np.arange(graph.n_nodes))]
+    while levels[-1].graph.n_nodes > target_nodes and len(levels) < max_levels:
+        current = levels[-1]
+        mate = match_mutual(current.graph)
+        nxt = contract(current.graph, current.node_weights, mate)
+        if nxt.graph.n_nodes > 0.95 * current.graph.n_nodes:
+            break
+        levels.append(nxt)
+    return levels

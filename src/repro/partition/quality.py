@@ -1,0 +1,60 @@
+"""Partition quality metrics: edge cut, balance, summary."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.partition.base import PartitionResult
+
+
+def edge_cut_fraction(graph: CSRGraph, result: PartitionResult) -> float:
+    """Fraction of arcs whose endpoints live in different parts.
+
+    This is the quantity min-cut partitioning minimizes; in the engine it
+    directly determines the share of Forward Push traversal that must leave
+    the local shard (the paper's "remote graph traversal ratio").
+    """
+    if result.n_nodes != graph.n_nodes:
+        raise ValueError(
+            f"assignment covers {result.n_nodes} nodes, graph has {graph.n_nodes}"
+        )
+    if graph.n_arcs == 0:
+        return 0.0
+    src_part = np.repeat(result.assignment, np.diff(graph.indptr))
+    dst_part = result.assignment[graph.indices]
+    return float(np.count_nonzero(src_part != dst_part) / graph.n_arcs)
+
+
+def balance(result: PartitionResult) -> float:
+    """Max part size over ideal size (1.0 = perfectly balanced)."""
+    sizes = result.part_sizes()
+    ideal = result.n_nodes / result.n_parts
+    if ideal == 0:
+        return 1.0
+    return float(sizes.max() / ideal)
+
+
+@dataclass(frozen=True)
+class PartitionQuality:
+    """Summary of one partitioning run."""
+
+    n_parts: int
+    edge_cut: float
+    balance: float
+    min_part: int
+    max_part: int
+
+
+def partition_quality(graph: CSRGraph, result: PartitionResult) -> PartitionQuality:
+    """Compute all quality metrics at once."""
+    sizes = result.part_sizes()
+    return PartitionQuality(
+        n_parts=result.n_parts,
+        edge_cut=edge_cut_fraction(graph, result),
+        balance=balance(result),
+        min_part=int(sizes.min()),
+        max_part=int(sizes.max()),
+    )

@@ -1,0 +1,36 @@
+"""Trivial baseline partitioners: random and hash (modulo)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.partition.base import PartitionResult, Partitioner
+from repro.utils.rng import rng_from_seed
+
+
+class RandomPartitioner(Partitioner):
+    """Uniform random assignment — the worst-case communication baseline.
+
+    Expected edge cut is ``1 - 1/k``; the partition-quality ablation uses it
+    to show how much min-cut partitioning reduces remote traffic.
+    """
+
+    def __init__(self, seed=None) -> None:
+        self.seed = seed
+
+    def partition(self, graph: CSRGraph, n_parts: int) -> PartitionResult:
+        self._check_args(graph, n_parts)
+        rng = rng_from_seed(self.seed)
+        # Balanced random: shuffle a round-robin assignment.
+        assignment = np.arange(graph.n_nodes) % n_parts
+        rng.shuffle(assignment)
+        return PartitionResult(assignment, n_parts)
+
+
+class HashPartitioner(Partitioner):
+    """Deterministic modulo assignment (the common default in GNN systems)."""
+
+    def partition(self, graph: CSRGraph, n_parts: int) -> PartitionResult:
+        self._check_args(graph, n_parts)
+        return PartitionResult(np.arange(graph.n_nodes) % n_parts, n_parts)

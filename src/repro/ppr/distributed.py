@@ -1,0 +1,217 @@
+"""Distributed SSPPR drivers — the iteration loops of Figure 4.
+
+Both drivers are generator coroutines runnable on either runtime (the
+virtual-time scheduler for benchmarks, real threads for concurrency tests).
+They yield :class:`~repro.simt.events.Wait` effects on remote futures and
+wrap real compute in ``proc.measured(category)`` blocks, which is where the
+Figure 6 / Table 3 breakdowns come from.
+
+:func:`distributed_sppr_query` is the PPR Engine (hashmap ops) with the
+cumulative optimization levels of Table 3:
+
+* ``SINGLE``   — one activated vertex per RPC, uncompressed;
+* ``BATCH``    — per-shard batched RPCs, list-of-lists responses;
+* ``COMPRESS`` — batched + CSR-compressed responses + zero-copy local path;
+* ``OVERLAP``  — compress + remote calls issued before local work.
+
+:func:`distributed_tensor_query` is the "PyTorch Tensor" baseline: the same
+storage and batched/compressed RPCs, but dense |V|-length state with
+full-vector activation scans.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.ppr.params import PPRParams
+from repro.ppr.ppr_ops import SSPPR
+from repro.ppr.tensor_ops import DenseSSPPR
+from repro.simt.events import Wait
+from repro.storage.dist_storage import DistGraphStorage
+
+
+class OptLevel(enum.Enum):
+    """Cumulative RPC optimization levels (Table 3 rows)."""
+
+    SINGLE = "single"
+    BATCH = "batch"
+    COMPRESS = "compress"
+    OVERLAP = "overlap"
+
+    @property
+    def batched(self) -> bool:
+        return self is not OptLevel.SINGLE
+
+    @property
+    def compressed(self) -> bool:
+        return self in (OptLevel.COMPRESS, OptLevel.OVERLAP)
+
+    @property
+    def overlapped(self) -> bool:
+        return self is OptLevel.OVERLAP
+
+
+def distributed_sppr_query(g: DistGraphStorage, proc, source_local: int,
+                           params: PPRParams, *,
+                           opt: OptLevel = OptLevel.OVERLAP):
+    """Coroutine computing one SSPPR query on the PPR Engine.
+
+    The query's source must be a core node of the caller's shard (the
+    owner-compute rule dispatches each query to the machine hosting its
+    source).  Returns the finished :class:`~repro.ppr.ppr_ops.SSPPR` state.
+    """
+    if g.compress != opt.compressed:
+        raise ValueError(
+            f"storage compress={g.compress} inconsistent with opt={opt}"
+        )
+    shard = g.shard_id
+    wfut = g.source_weighted_degrees(
+        shard, np.array([source_local], dtype=np.int64)
+    )
+    src_wdeg = (yield Wait(wfut))[0]
+    m = SSPPR(source_local, shard, params, float(src_wdeg), g.n_shards)
+
+    while True:
+        with proc.measured("pop"):
+            node_ids, shard_ids = m.pop()
+        if len(node_ids) == 0:
+            break
+
+        if not opt.batched:
+            # Single mode: sequential per-vertex fetch + push.
+            for i in range(len(node_ids)):
+                fut = g.get_neighbor_infos_single(
+                    int(shard_ids[i]), int(node_ids[i])
+                )
+                infos = yield Wait(fut)
+                with proc.measured("push"):
+                    m.push(infos, node_ids[i:i + 1], shard_ids[i:i + 1])
+            continue
+
+        with proc.measured("pop"):
+            masks = g.shard_masks(shard_ids)
+
+        # Issue remote batches first (they are asynchronous either way; the
+        # overlap flag decides whether we wait before or after local work).
+        futs = {}
+        for j, mask in masks.items():
+            if j == shard or not mask.any():
+                continue
+            futs[j] = g.get_neighbor_infos(j, node_ids[mask])
+
+        remote_infos = {}
+        if not opt.overlapped:
+            for j, fut in futs.items():
+                remote_infos[j] = yield Wait(fut)
+
+        local_mask = masks[shard]
+        if local_mask.any():
+            lfut = g.get_neighbor_infos(shard, node_ids[local_mask])
+            infos = yield Wait(lfut)  # local calls resolve synchronously
+            with proc.measured("push"):
+                m.push(infos, node_ids[local_mask], shard_ids[local_mask])
+
+        for j in futs:
+            infos = remote_infos[j] if not opt.overlapped \
+                else (yield Wait(futs[j]))
+            jm = masks[j]
+            with proc.measured("push"):
+                m.push(infos, node_ids[jm], shard_ids[jm])
+    return m
+
+
+def distributed_multi_query(g: DistGraphStorage, proc,
+                            source_locals: np.ndarray, params: PPRParams):
+    """Coroutine: a batch of SSPPR queries advanced in lockstep.
+
+    Extension of the paper's batching to the inter-query level: each
+    iteration fetches the union of all queries' activated vertices — one
+    RPC per destination shard for the whole batch.  Requires compressed
+    storage (the batched responses are CSR).  Returns the finished
+    :class:`~repro.ppr.multi_query.MultiSSPPR`.
+    """
+    from repro.ppr.multi_query import MultiSSPPR
+
+    if not g.compress:
+        raise ValueError("multi-query batching requires compressed storage")
+    shard = g.shard_id
+    source_locals = np.asarray(source_locals, dtype=np.int64)
+    wfut = g.source_weighted_degrees(shard, source_locals)
+    src_wdegs = yield Wait(wfut)
+    m = MultiSSPPR(source_locals, shard, params, src_wdegs, g.n_shards)
+
+    while True:
+        with proc.measured("pop"):
+            node_ids, shard_ids = m.pop()
+        if len(node_ids) == 0:
+            break
+        with proc.measured("pop"):
+            masks = g.shard_masks(shard_ids)
+        futs = {}
+        for j, mask in masks.items():
+            if j == shard or not mask.any():
+                continue
+            futs[j] = g.get_neighbor_infos(j, node_ids[mask])
+        local_mask = masks[shard]
+        if local_mask.any():
+            infos = yield Wait(g.get_neighbor_infos(shard,
+                                                    node_ids[local_mask]))
+            with proc.measured("push"):
+                m.push(infos, node_ids[local_mask], shard_ids[local_mask])
+        for j in futs:
+            infos = yield Wait(futs[j])
+            jm = masks[j]
+            with proc.measured("push"):
+                m.push(infos, node_ids[jm], shard_ids[jm])
+    return m
+
+
+def distributed_tensor_query(g: DistGraphStorage, proc, source_global: int,
+                             params: PPRParams, owner_local: np.ndarray,
+                             owner_shard: np.ndarray):
+    """Coroutine computing one SSPPR query with the dense tensor baseline.
+
+    Uses the same distributed storage (batched + compressed RPCs — the
+    baseline's best configuration) but dense |V| state; every iteration pays
+    the full activation scan in ``pop``.
+    """
+    shard = g.shard_id
+    n_nodes = len(owner_local)
+    src_local = int(owner_local[source_global])
+    wfut = g.source_weighted_degrees(
+        shard, np.array([src_local], dtype=np.int64)
+    )
+    src_wdeg = (yield Wait(wfut))[0]
+    m = DenseSSPPR(source_global, params, n_nodes, owner_local, owner_shard)
+    m.seed_source_degree(float(src_wdeg))
+
+    while True:
+        with proc.measured("pop"):
+            gids, node_ids, shard_ids = m.pop()
+        if len(gids) == 0:
+            break
+        with proc.measured("pop"):
+            masks = g.shard_masks(shard_ids)
+
+        futs = {}
+        for j, mask in masks.items():
+            if j == shard or not mask.any():
+                continue
+            futs[j] = g.get_neighbor_infos(j, node_ids[mask])
+        # Figure 6 configuration: no overlap — wait before local work.
+        remote_infos = {}
+        for j, fut in futs.items():
+            remote_infos[j] = yield Wait(fut)
+
+        local_mask = masks[shard]
+        if local_mask.any():
+            lfut = g.get_neighbor_infos(shard, node_ids[local_mask])
+            infos = yield Wait(lfut)
+            with proc.measured("push"):
+                m.push(infos, gids[local_mask])
+        for j, infos in remote_infos.items():
+            with proc.measured("push"):
+                m.push(infos, gids[masks[j]])
+    return m

@@ -1,0 +1,251 @@
+"""Vectorized sharded hash map — the parallel-hashmap emulation.
+
+The paper's C++ PPR operators store ``<local ID, shard ID> -> value`` pairs
+in greg7mdp/parallel-hashmap: a table split into submaps, with updates
+partitioned across threads *by submap index* so no locks are needed.  This
+module provides the same structure in NumPy:
+
+* keys are non-negative ``int64`` (the engine packs ``local * K + shard``);
+* the table is ``n_submaps`` contiguous open-addressed regions; a key's
+  submap is chosen by the low bits of its hash, mirroring phmap;
+* **all operations are batch-vectorized**: lookups and inserts process a
+  whole key array per probe round (a masked compare + claim/verify cycle
+  that emulates CAS), so a push over 100k neighbor entries costs a handful
+  of NumPy kernels rather than 100k interpreter iterations — this is the
+  "C++ speed" stand-in;
+* duplicate keys are allowed in every call: duplicates of one key compute
+  identical probe sequences, so they move through the rounds in lockstep
+  and resolve to the same slot; dense-index claiming dedups by slot;
+* the map stores only key -> *dense index* (insertion order).  Values live
+  in caller-owned dense arrays that never move on rehash, exactly like the
+  slot/value split in the paper's operators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EMPTY = np.int64(-1)
+
+
+def _mix(keys: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer — avalanche the bits of each key (vectorized)."""
+    with np.errstate(over="ignore"):
+        z = keys.astype(np.uint64, copy=True)
+        z += np.uint64(0x9E3779B97F4A7C15)
+        z ^= z >> np.uint64(30)
+        z *= np.uint64(0xBF58476D1CE4E5B9)
+        z ^= z >> np.uint64(27)
+        z *= np.uint64(0x94D049BB133111EB)
+        z ^= z >> np.uint64(31)
+    return z
+
+
+class ShardedMap:
+    """Open-addressed int64 -> dense-index map with submap partitioning."""
+
+    def __init__(self, *, initial_submap_capacity: int = 2048,
+                 n_submaps: int = 16, max_load: float = 0.35) -> None:
+        if n_submaps < 1 or n_submaps & (n_submaps - 1):
+            raise ValueError(f"n_submaps must be a power of two, got {n_submaps}")
+        if initial_submap_capacity < 4:
+            raise ValueError("initial_submap_capacity must be >= 4")
+        if not 0.1 <= max_load <= 0.9:
+            raise ValueError(f"max_load must be in [0.1, 0.9], got {max_load}")
+        self.n_submaps = n_submaps
+        self.max_load = max_load
+        self._submap_cap = 1 << int(np.ceil(np.log2(initial_submap_capacity)))
+        self._submap_bits = int(np.log2(n_submaps))
+        self._alloc_table()
+        # Dense side: insertion-ordered keys.
+        self._dense_keys = np.empty(1024, dtype=np.int64)
+        self._n = 0
+        #: total probe rounds executed (diagnostics / collision stats)
+        self.probe_rounds = 0
+        self.rehashes = 0
+
+    def _alloc_table(self) -> None:
+        total = self.n_submaps * self._submap_cap
+        self._keys = np.full(total, _EMPTY, dtype=np.int64)
+        self._index = np.empty(total, dtype=np.int64)
+
+    # -- public surface --------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def capacity(self) -> int:
+        return self.n_submaps * self._submap_cap
+
+    def keys(self) -> np.ndarray:
+        """All keys in insertion (dense-index) order."""
+        return self._dense_keys[: self._n]
+
+    def submap_of(self, keys) -> np.ndarray:
+        """Which submap each key lives in (the thread-partitioning index)."""
+        h = _mix(np.asarray(keys, dtype=np.int64))
+        return (h & np.uint64(self.n_submaps - 1)).astype(np.int64)
+
+    def submap_sizes(self) -> np.ndarray:
+        """Occupied entries per submap (for load-balance diagnostics)."""
+        occ = self._keys != _EMPTY
+        return occ.reshape(self.n_submaps, self._submap_cap).sum(axis=1)
+
+    def _start_slots(self, keys: np.ndarray) -> np.ndarray:
+        """Initial probe slot per key (submap base + in-submap offset)."""
+        h = _mix(keys)
+        base = (h & np.uint64(self.n_submaps - 1)).astype(np.int64) \
+            * self._submap_cap
+        offset = ((h >> np.uint64(self._submap_bits))
+                  & np.uint64(self._submap_cap - 1)).astype(np.int64)
+        return base + offset
+
+    def _advance(self, slot: np.ndarray) -> np.ndarray:
+        """Next linear-probe slot, wrapping within each submap."""
+        cap = self._submap_cap
+        base = slot & ~np.int64(cap - 1)
+        return base + ((slot + 1) & (cap - 1))
+
+    def lookup(self, keys) -> np.ndarray:
+        """Dense indices of ``keys`` (-1 where missing).  Duplicates OK."""
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        self._check_keys(keys)
+        n = len(keys)
+        out = np.full(n, -1, dtype=np.int64)
+        if n == 0 or self._n == 0:
+            return out
+        slot = self._start_slots(keys)
+        # Fast first round on the full array.
+        cur = self._keys[slot]
+        hit = cur == keys
+        out[hit] = self._index[slot[hit]]
+        pending = np.flatnonzero(~hit & (cur != _EMPTY))
+        self.probe_rounds += 1
+        # Straggler rounds on shrinking subsets.
+        pslot = slot[pending]
+        pkeys = keys[pending]
+        safety = 0
+        while len(pending):
+            pslot = self._advance(pslot)
+            cur = self._keys[pslot]
+            hit = cur == pkeys
+            out[pending[hit]] = self._index[pslot[hit]]
+            alive = ~hit & (cur != _EMPTY)
+            pending, pslot, pkeys = pending[alive], pslot[alive], pkeys[alive]
+            self.probe_rounds += 1
+            safety += 1
+            if safety > 4 * self._submap_cap:  # pragma: no cover - safety net
+                raise RuntimeError("hash table probe overflow during lookup")
+        return out
+
+    def get_or_insert(self, keys) -> tuple[np.ndarray, np.ndarray]:
+        """Dense indices for ``keys``, inserting missing ones.  Duplicates OK.
+
+        Returns ``(indices, new_mask)`` — ``new_mask`` is True for every
+        occurrence of a key first inserted by this call.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        self._check_keys(keys)
+        n = len(keys)
+        if n == 0:
+            return (np.empty(0, dtype=np.int64), np.zeros(0, dtype=bool))
+        # Conservative growth trigger: duplicates make len(keys) an upper
+        # bound on insertions, so this may grow slightly early — harmless.
+        while (self._n + n) > self.max_load * self.capacity:
+            self._grow()
+
+        out = np.empty(n, dtype=np.int64)
+        new_mask = np.zeros(n, dtype=bool)
+        pending = np.arange(n)
+        pslot = self._start_slots(keys)
+        pkeys = keys
+        safety = 0
+        while len(pending):
+            cur = self._keys[pslot]
+            hit = cur == pkeys
+            out[pending[hit]] = self._index[pslot[hit]]
+
+            empty = cur == _EMPTY
+            if empty.any():
+                cand = pending[empty]
+                cand_slots = pslot[empty]
+                cand_keys = pkeys[empty]
+                # Emulated CAS: all contenders write, re-read decides who
+                # won.  Duplicates of one key share the same slot and all
+                # "win" it together; distinct keys racing for one slot
+                # leave exactly one winner.
+                self._keys[cand_slots] = cand_keys
+                won = self._keys[cand_slots] == cand_keys
+                if won.any():
+                    win_slots = cand_slots[won]
+                    # Dedup slots (duplicate keys win together) without a
+                    # sort: scatter positions, last-write-wins per slot,
+                    # keep the surviving occurrence of each slot.
+                    pos = np.arange(len(win_slots))
+                    self._index[win_slots] = pos
+                    rep = self._index[win_slots] == pos
+                    uniq_slots = win_slots[rep]
+                    idx = self._claim_dense(self._keys[uniq_slots])
+                    self._index[uniq_slots] = idx
+                    winners = cand[won]
+                    out[winners] = self._index[win_slots]
+                    new_mask[winners] = True
+                resolved = hit.copy()
+                resolved[np.flatnonzero(empty)[won]] = True
+            else:
+                resolved = hit
+            alive = ~resolved
+            pending, pkeys = pending[alive], pkeys[alive]
+            pslot = self._advance(pslot[alive])
+            self.probe_rounds += 1
+            safety += 1
+            if safety > 4 * self._submap_cap:  # pragma: no cover - safety net
+                raise RuntimeError("hash table probe overflow during insert")
+        return out, new_mask
+
+    # -- internals ----------------------------------------------------------
+    def _check_keys(self, keys: np.ndarray) -> None:
+        if keys.ndim != 1:
+            raise ValueError(f"keys must be 1-D, got shape {keys.shape}")
+        if len(keys) and keys.min() < 0:
+            raise ValueError("keys must be non-negative int64")
+
+    def _claim_dense(self, keys: np.ndarray) -> np.ndarray:
+        n_new = len(keys)
+        while self._n + n_new > len(self._dense_keys):
+            grown = np.empty(2 * len(self._dense_keys), dtype=np.int64)
+            grown[: self._n] = self._dense_keys[: self._n]
+            self._dense_keys = grown
+        idx = np.arange(self._n, self._n + n_new, dtype=np.int64)
+        self._dense_keys[idx] = keys
+        self._n += n_new
+        return idx
+
+    def _grow(self) -> None:
+        """Quadruple submap capacity and re-place all keys (dense side fixed).
+
+        The aggressive factor keeps rehash count low for Forward Push's
+        rapidly expanding touched set.
+        """
+        old_keys = self._dense_keys[: self._n].copy()
+        self._submap_cap *= 4
+        self._alloc_table()
+        self.rehashes += 1
+        if self._n == 0:
+            return
+        pending = np.arange(self._n)
+        pslot = self._start_slots(old_keys)
+        pkeys = old_keys
+        while len(pending):
+            cur = self._keys[pslot]
+            empty = cur == _EMPTY
+            cand = pending[empty]
+            cand_slots = pslot[empty]
+            self._keys[cand_slots] = pkeys[empty]
+            won = self._keys[cand_slots] == pkeys[empty]
+            self._index[cand_slots[won]] = cand[won]
+            resolved = np.zeros(len(pending), dtype=bool)
+            resolved[np.flatnonzero(empty)[won]] = True
+            alive = ~resolved
+            pending, pkeys = pending[alive], pkeys[alive]
+            pslot = self._advance(pslot[alive])

@@ -1,0 +1,218 @@
+"""Batched multi-query SSPPR — inter-query RPC sharing.
+
+The paper batches RPCs *within* one query's iteration (all activated
+vertices per destination shard).  This module extends the same idea across
+queries, as suggested by the production setting of Section 3.1 ("each
+machine processes a batch of SSPPR queries in parallel"): a
+:class:`MultiSSPPR` advances B queries in lockstep, and each iteration
+fetches the **union** of their activated vertices — one RPC per destination
+shard for the whole batch, with every fetched adjacency row reused by every
+query that needs it.
+
+State layout: the hashmap key packs ``(node, query)`` as
+``(local * K + shard) * B + qid``; pops dedupe at the *node* level for
+fetching while retaining the per-(node, query) activation pairs for the
+push expansion.  Total push work equals running the queries separately —
+the savings are pure communication (fewer, larger RPCs; shared rows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ppr.hashmap import ShardedMap
+from repro.ppr.params import PPRParams
+
+
+class MultiSSPPR:
+    """Lockstep state for a batch of SSPPR queries sharing fetches."""
+
+    def __init__(self, source_locals, source_shard: int, params: PPRParams,
+                 source_wdegs, n_shards: int, *, n_submaps: int = 16) -> None:
+        source_locals = np.asarray(source_locals, dtype=np.int64)
+        source_wdegs = np.asarray(source_wdegs, dtype=np.float64)
+        if len(source_locals) == 0:
+            raise ValueError("MultiSSPPR needs at least one source")
+        if len(source_wdegs) != len(source_locals):
+            raise ValueError("source_wdegs length mismatch")
+        if n_shards <= 0:
+            raise ValueError(f"n_shards must be > 0, got {n_shards}")
+        if np.any(source_wdegs < 0):
+            raise ValueError("source_wdegs must be >= 0")
+        self.params = params
+        self.n_shards = int(n_shards)
+        self.n_queries = len(source_locals)
+        self.map = ShardedMap(n_submaps=n_submaps)
+        cap = 1024
+        self.residual = np.zeros(cap)
+        self.ppr = np.zeros(cap)
+        self.wdeg = np.zeros(cap)
+        self.queued = np.zeros(cap, dtype=bool)
+        self._frontier_chunks: list[np.ndarray] = []
+        self._pending_pairs: np.ndarray | None = None  # sorted pair keys
+        self.n_pushes = 0
+        self.n_entries_processed = 0
+        self.n_iterations = 0
+
+        qids = np.arange(self.n_queries, dtype=np.int64)
+        node_keys = source_locals * self.n_shards + int(source_shard)
+        pair_keys = node_keys * self.n_queries + qids
+        idx, _ = self.map.get_or_insert(pair_keys)
+        self._ensure_capacity(len(self.map))
+        self.residual[idx] = 1.0
+        self.wdeg[idx] = source_wdegs
+        self.queued[idx] = True
+        self._frontier_chunks.append(pair_keys)
+
+    # -- helpers ------------------------------------------------------------
+    def _ensure_capacity(self, needed: int) -> None:
+        cap = len(self.residual)
+        if needed <= cap:
+            return
+        while cap < needed:
+            cap *= 2
+        for name in ("residual", "ppr", "wdeg"):
+            old = getattr(self, name)
+            grown = np.zeros(cap)
+            grown[: len(old)] = old
+            setattr(self, name, grown)
+        grown_q = np.zeros(cap, dtype=bool)
+        grown_q[: len(self.queued)] = self.queued
+        self.queued = grown_q
+
+    def _split_pair(self, pair_keys: np.ndarray):
+        node_keys, qids = np.divmod(pair_keys, self.n_queries)
+        return node_keys, qids
+
+    # -- operators -----------------------------------------------------------
+    def pop(self) -> tuple[np.ndarray, np.ndarray]:
+        """Unique activated *nodes* across all queries -> fetch list.
+
+        The per-(node, query) pairs are retained internally for push.
+        Returned ``(local_ids, shard_ids)`` are node-key sorted (the order
+        push expects back via its ``local_ids``/``shard_ids`` arguments).
+        """
+        if not self._frontier_chunks:
+            empty = np.empty(0, dtype=np.int64)
+            self._pending_pairs = None
+            return empty, empty
+        raw = (self._frontier_chunks[0] if len(self._frontier_chunks) == 1
+               else np.concatenate(self._frontier_chunks))
+        self._frontier_chunks = []
+        pairs = np.unique(raw)
+        idx = self.map.lookup(pairs)
+        self.queued[idx] = False
+        self._pending_pairs = pairs  # sorted; node key = pair // B
+        node_keys = np.unique(pairs // self.n_queries)
+        self.n_iterations += 1
+        return node_keys // self.n_shards, node_keys % self.n_shards
+
+    def push(self, infos, local_ids: np.ndarray, shard_ids: np.ndarray) -> None:
+        """Apply one fetched chunk to every query activated on its nodes."""
+        (indptr, nbr_local, nbr_shard, _g, weights, nbr_wdeg,
+         src_wdeg) = infos.to_arrays()
+        if len(indptr) - 1 != len(local_ids):
+            raise ValueError(
+                f"infos cover {len(indptr) - 1} sources, got "
+                f"{len(local_ids)} popped ids"
+            )
+        if len(local_ids) == 0 or self._pending_pairs is None:
+            return
+        alpha = self.params.alpha
+        chunk_nodes = (np.asarray(local_ids, dtype=np.int64) * self.n_shards
+                       + np.asarray(shard_ids, dtype=np.int64))
+        pairs = self._pending_pairs
+        pair_nodes = pairs // self.n_queries
+        # Pair range for each chunk node (pairs are sorted by pair key,
+        # hence by node key first).
+        starts = np.searchsorted(pair_nodes, chunk_nodes, side="left")
+        ends = np.searchsorted(pair_nodes, chunk_nodes, side="right")
+        pair_counts = ends - starts
+        total_pairs = int(pair_counts.sum())
+        if total_pairs == 0:
+            return
+        # Flatten: for chunk node i, its active pairs.
+        pair_sel = np.repeat(starts - np.concatenate(
+            [[0], np.cumsum(pair_counts)[:-1]]
+        ), pair_counts) + np.arange(total_pairs)
+        sel_pairs = pairs[pair_sel]
+        sel_qids = sel_pairs % self.n_queries
+        # chunk-node index each pair belongs to
+        pair_chunk_idx = np.repeat(np.arange(len(chunk_nodes)), pair_counts)
+
+        idx_v = self.map.lookup(sel_pairs)
+        if np.any(idx_v < 0):
+            raise ValueError("push received pairs that were never touched")
+        r_v = self.residual[idx_v].copy()
+        self.residual[idx_v] = 0.0
+        pair_src_wdeg = src_wdeg[pair_chunk_idx]
+        dangling = pair_src_wdeg <= 0.0
+        self.ppr[idx_v] += np.where(dangling, r_v, alpha * r_v)
+        self.n_pushes += total_pairs
+
+        scale = np.where(
+            dangling, 0.0,
+            (1.0 - alpha) * r_v / np.where(dangling, 1.0, pair_src_wdeg),
+        )
+        # Expand each pair over its node's adjacency row.
+        row_counts = np.diff(indptr)
+        pair_row_counts = row_counts[pair_chunk_idx]
+        total_entries = int(pair_row_counts.sum())
+        if total_entries == 0:
+            return
+        row_starts = indptr[:-1][pair_chunk_idx]
+        entry_offsets = np.zeros(total_pairs + 1, dtype=np.int64)
+        np.cumsum(pair_row_counts, out=entry_offsets[1:])
+        entry_idx = np.repeat(row_starts - entry_offsets[:-1],
+                              pair_row_counts) + np.arange(total_entries)
+        contrib = weights[entry_idx] * np.repeat(scale, pair_row_counts)
+        self.n_entries_processed += total_entries
+
+        nbr_node_keys = (nbr_local[entry_idx] * self.n_shards
+                         + nbr_shard[entry_idx])
+        target_pairs = (nbr_node_keys * self.n_queries
+                        + np.repeat(sel_qids, pair_row_counts))
+        slots, new = self.map.get_or_insert(target_pairs)
+        if new.any():
+            self._ensure_capacity(len(self.map))
+            self.wdeg[slots[new]] = nbr_wdeg[entry_idx][new]
+        m_len = len(self.map)
+        self.residual[:m_len] += np.bincount(slots, weights=contrib,
+                                             minlength=m_len)
+
+        threshold = self.params.epsilon * self.wdeg[slots]
+        above = self.residual[slots] > threshold
+        newly = above & ~self.queued[slots]
+        if newly.any():
+            self.queued[slots[newly]] = True
+            self._frontier_chunks.append(target_pairs[newly])
+
+    # -- results ------------------------------------------------------------
+    @property
+    def n_touched_pairs(self) -> int:
+        return len(self.map)
+
+    def total_mass(self) -> float:
+        """Sum over all queries — invariantly ``n_queries``."""
+        n = len(self.map)
+        return float(self.ppr[:n].sum() + self.residual[:n].sum())
+
+    def results_for(self, qid: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(node_keys, ppr)`` of one query's positive-mass nodes."""
+        if not 0 <= qid < self.n_queries:
+            raise ValueError(f"qid {qid} out of range [0, {self.n_queries})")
+        n = len(self.map)
+        keys = self.map.keys()
+        mine = keys % self.n_queries == qid
+        ppr = self.ppr[:n][mine]
+        pos = ppr > 0
+        return (keys[mine][pos] // self.n_queries), ppr[pos]
+
+    def dense_result_for(self, qid: int, sharded, n_nodes: int) -> np.ndarray:
+        """One query's PPR as a dense |V| vector."""
+        node_keys, values = self.results_for(qid)
+        out = np.zeros(n_nodes)
+        gids = sharded.global_of(node_keys // self.n_shards,
+                                 node_keys % self.n_shards)
+        out[gids] = values
+        return out

@@ -1,0 +1,32 @@
+"""SSPPR query parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_in_range, check_positive
+
+#: The paper's experimental settings (Section 4.1).
+PAPER_ALPHA = 0.462
+PAPER_EPSILON = 1e-6
+
+
+@dataclass(frozen=True)
+class PPRParams:
+    """Teleport probability and residue threshold for Forward Push.
+
+    ``alpha`` is the restart probability of the underlying random walk;
+    ``epsilon`` is the maximum residual per unit of weighted degree — a node
+    is *activated* while ``r(v) > epsilon * d_w(v)``.
+    """
+
+    alpha: float = PAPER_ALPHA
+    epsilon: float = PAPER_EPSILON
+
+    def __post_init__(self) -> None:
+        check_in_range("alpha", self.alpha, 0.0, 1.0)
+        check_positive("epsilon", self.epsilon)
+
+    def with_epsilon(self, epsilon: float) -> "PPRParams":
+        """A copy with a different residue threshold."""
+        return PPRParams(alpha=self.alpha, epsilon=epsilon)

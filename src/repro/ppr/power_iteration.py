@@ -1,0 +1,68 @@
+"""Power iteration SSPPR — the high-precision "DGL SpMM" baseline.
+
+Iterates ``pi_{t+1} = alpha * e_s + (1 - alpha) * pi_t P`` with the
+row-stochastic transition matrix ``P = D_w^{-1} W`` (dangling rows replaced
+by self-loops, matching the absorb semantics of the Forward Push engines)
+until the L-infinity change drops below ``tol`` — the paper uses
+``tol = 1e-10`` and treats the result as ground truth.
+
+Each iteration is one sparse matrix-vector product over the *entire* graph,
+which is why this method cannot exploit locality: the same reason the paper
+finds Forward Push up to 7.2x faster even in the tensor world.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ConvergenceError
+from repro.graph.csr import CSRGraph
+from repro.utils.validation import check_in_range, check_positive
+
+#: the paper's ground-truth precision
+PAPER_TOL = 1e-10
+
+
+def build_transition(graph: CSRGraph) -> sp.csr_matrix:
+    """Column-oriented operator ``P^T`` with dangling self-loops.
+
+    Returned transposed so each iteration is a CSR matvec
+    (``pi P == P^T @ pi``).
+    """
+    p = graph.transition_matrix().tolil()
+    dangling = np.flatnonzero(graph.weighted_degrees <= 0.0)
+    for d in dangling:
+        p[d, d] = 1.0
+    return sp.csr_matrix(p.T)
+
+
+def power_iteration_ssppr(graph: CSRGraph, source: int, *,
+                          alpha: float = 0.462, tol: float = PAPER_TOL,
+                          max_iterations: int = 10_000,
+                          pt: sp.csr_matrix | None = None) -> np.ndarray:
+    """High-precision SSPPR vector for ``source``.
+
+    ``pt`` lets callers reuse a prebuilt transition operator across queries
+    (the realistic amortized setting for batched workloads).
+    """
+    check_in_range("alpha", alpha, 0.0, 1.0)
+    check_positive("tol", tol)
+    n = graph.n_nodes
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range [0, {n})")
+    if pt is None:
+        pt = build_transition(graph)
+
+    restart = np.zeros(n)
+    restart[source] = alpha
+    pi = restart.copy()
+    for _ in range(max_iterations):
+        nxt = restart + (1.0 - alpha) * (pt @ pi)
+        delta = float(np.max(np.abs(nxt - pi)))
+        pi = nxt
+        if delta <= tol:
+            return pi
+    raise ConvergenceError(
+        f"power iteration did not reach tol={tol} in {max_iterations} iterations"
+    )

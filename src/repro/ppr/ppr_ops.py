@@ -1,0 +1,211 @@
+"""Local PPR operators (paper Section 3.3): hashmap-backed ``pop`` / ``push``.
+
+:class:`SSPPR` holds the state of one in-flight SSPPR query: a
+:class:`~repro.ppr.hashmap.ShardedMap` from packed ``(local ID, shard ID)``
+keys to dense slots, and dense value arrays (residual, PPR score, weighted
+degree, queued flag) indexed by slot.  Work per iteration is proportional to
+the *touched frontier*, never to |V| — the property that separates the PPR
+Engine from the tensor baseline.
+
+Semantics follow the parallel Forward Push of Shun et al. [22] as adapted by
+the paper: ``pop`` drains the activated set; ``push`` consumes a batch of
+sources *with their neighbor information* (local VertexProp or remote
+NeighborBatch/NeighborLists), converts ``alpha * r`` into PPR mass, spreads
+``(1 - alpha) * r`` over out-neighbors weighted by ``W(v,u)/d_w(v)``, and
+re-activates any node whose residual crosses ``epsilon * d_w``.
+
+Dangling nodes (weighted degree 0) absorb their entire residual into their
+PPR score — the limit behaviour of a restart-only walk stuck at the node —
+keeping total mass conserved: ``sum(ppr) + sum(residual) == 1`` at every
+step (a property the test suite checks with hypothesis).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ppr.hashmap import ShardedMap
+from repro.ppr.params import PPRParams
+
+
+def pack_keys(local_ids: np.ndarray, shard_ids: np.ndarray,
+              n_shards: int) -> np.ndarray:
+    """Pack ``(local, shard)`` into flat int64 keys: ``local * K + shard``."""
+    return local_ids.astype(np.int64) * n_shards + shard_ids
+
+
+def unpack_keys(keys: np.ndarray, n_shards: int) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`pack_keys`."""
+    return keys // n_shards, keys % n_shards
+
+
+class SSPPR:
+    """State and operators for one SSPPR query."""
+
+    def __init__(self, source_local: int, source_shard: int,
+                 params: PPRParams, source_wdeg: float, n_shards: int, *,
+                 n_submaps: int = 16) -> None:
+        if n_shards <= 0:
+            raise ValueError(f"n_shards must be > 0, got {n_shards}")
+        if source_wdeg < 0:
+            raise ValueError(f"source_wdeg must be >= 0, got {source_wdeg}")
+        self.params = params
+        self.n_shards = int(n_shards)
+        self.map = ShardedMap(n_submaps=n_submaps)
+        cap = 1024
+        self.residual = np.zeros(cap)
+        self.ppr = np.zeros(cap)
+        self.wdeg = np.zeros(cap)
+        self.queued = np.zeros(cap, dtype=bool)
+        self._frontier_chunks: list[np.ndarray] = []
+        # Operator statistics (push-count ablation, workload accounting).
+        self.n_pushes = 0
+        self.n_entries_processed = 0
+        self.n_iterations = 0
+
+        source_key = np.array(
+            [int(source_local) * self.n_shards + int(source_shard)],
+            dtype=np.int64,
+        )
+        idx, _ = self.map.get_or_insert(source_key)
+        self.residual[idx[0]] = 1.0
+        self.wdeg[idx[0]] = float(source_wdeg)
+        self.queued[idx[0]] = True
+        self._frontier_chunks.append(source_key)
+
+    # -- capacity -----------------------------------------------------------
+    def _ensure_capacity(self, needed: int) -> None:
+        cap = len(self.residual)
+        if needed <= cap:
+            return
+        while cap < needed:
+            cap *= 2
+        for name in ("residual", "ppr", "wdeg"):
+            old = getattr(self, name)
+            grown = np.zeros(cap)
+            grown[: len(old)] = old
+            setattr(self, name, grown)
+        grown_q = np.zeros(cap, dtype=bool)
+        grown_q[: len(self.queued)] = self.queued
+        self.queued = grown_q
+
+    # -- operators -----------------------------------------------------------
+    def pop(self) -> tuple[np.ndarray, np.ndarray]:
+        """Drain the activated set -> ``(local_ids, shard_ids)`` and clear it.
+
+        The paper: "the pop operator first returns the local ID tensor and
+        the shard ID tensor from the current activated vertex set and then
+        clears the set" — O(frontier), since the activated keys are stored
+        explicitly rather than found by scanning.  Chunks appended by push
+        may contain duplicates (cheaper there); this is the single dedup
+        point per iteration.
+        """
+        if not self._frontier_chunks:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        raw = (self._frontier_chunks[0] if len(self._frontier_chunks) == 1
+               else np.concatenate(self._frontier_chunks))
+        self._frontier_chunks = []
+        keys = np.unique(raw)
+        idx = self.map.lookup(keys)
+        self.queued[idx] = False
+        self.n_iterations += 1
+        return unpack_keys(keys, self.n_shards)
+
+    def push(self, infos, local_ids: np.ndarray, shard_ids: np.ndarray) -> None:
+        """Apply one batch of pushes given fetched neighbor information.
+
+        ``infos`` is any response exposing ``to_arrays()`` (VertexProp,
+        NeighborBatch, NeighborLists); ``local_ids``/``shard_ids`` are the
+        popped sources this response answers, in request order.
+        """
+        (indptr, nbr_local, nbr_shard, _nbr_global, weights, nbr_wdeg,
+         src_wdeg) = infos.to_arrays()
+        if len(indptr) - 1 != len(local_ids):
+            raise ValueError(
+                f"infos cover {len(indptr) - 1} sources, got "
+                f"{len(local_ids)} popped ids"
+            )
+        if len(local_ids) == 0:
+            return
+        src_keys = pack_keys(np.asarray(local_ids, dtype=np.int64),
+                             np.asarray(shard_ids, dtype=np.int64),
+                             self.n_shards)
+        idx_v = self.map.lookup(src_keys)
+        if np.any(idx_v < 0):
+            raise ValueError("push received sources that were never touched")
+
+        alpha = self.params.alpha
+        r_v = self.residual[idx_v].copy()
+        self.residual[idx_v] = 0.0
+        dangling = src_wdeg <= 0.0
+        # Dangling sources absorb everything; others convert an alpha share.
+        gained = np.where(dangling, r_v, alpha * r_v)
+        self.ppr[idx_v] += gained
+        self.n_pushes += len(src_keys)
+
+        # Per-entry contribution: w(v,u) / d_w(v) * (1 - alpha) * r(v).
+        scale = np.where(dangling, 0.0,
+                         (1.0 - alpha) * r_v / np.where(dangling, 1.0, src_wdeg))
+        counts = np.diff(indptr)
+        contrib = weights * np.repeat(scale, counts)
+        self.n_entries_processed += len(contrib)
+        if len(contrib) == 0:
+            return
+
+        # Resolve neighbor slots in one vectorized pass (duplicates fine).
+        nbr_keys = pack_keys(nbr_local, nbr_shard, self.n_shards)
+        slots, new = self.map.get_or_insert(nbr_keys)
+        if new.any():
+            self._ensure_capacity(len(self.map))
+            # Record the newcomers' weighted degrees (duplicates write the
+            # same global value, so no per-key dedup is needed).
+            self.wdeg[slots[new]] = nbr_wdeg[new]
+        # Scatter-add over the *dense slot domain*: O(touched), never O(|V|).
+        # This aggregation confined to touched nodes is the hashmap's win.
+        m_len = len(self.map)
+        self.residual[:m_len] += np.bincount(slots, weights=contrib,
+                                             minlength=m_len)
+
+        threshold = self.params.epsilon * self.wdeg[slots]
+        above = self.residual[slots] > threshold
+        newly = above & ~self.queued[slots]
+        if newly.any():
+            hot = slots[newly]
+            self.queued[hot] = True
+            # may contain duplicate keys; pop() dedups once per iteration
+            self._frontier_chunks.append(nbr_keys[newly])
+
+    # -- results ------------------------------------------------------------
+    @property
+    def n_touched(self) -> int:
+        """Number of distinct nodes that ever received mass."""
+        return len(self.map)
+
+    def frontier_size(self) -> int:
+        """Nodes currently queued for the next iteration."""
+        return int(sum(len(c) for c in self._frontier_chunks))
+
+    def total_mass(self) -> float:
+        """``sum(ppr) + sum(residual)`` — invariantly 1.0."""
+        n = len(self.map)
+        return float(self.ppr[:n].sum() + self.residual[:n].sum())
+
+    def results(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(keys, ppr_values)`` for every node with positive PPR mass."""
+        n = len(self.map)
+        ppr = self.ppr[:n]
+        mask = ppr > 0.0
+        return self.map.keys()[mask], ppr[mask]
+
+    def results_global(self, sharded) -> tuple[np.ndarray, np.ndarray]:
+        """``(global_ids, ppr_values)`` via a ShardedGraph's address book."""
+        keys, values = self.results()
+        return sharded.globals_from_keys(keys), values
+
+    def dense_result(self, sharded, n_nodes: int) -> np.ndarray:
+        """PPR scores scattered into a dense |V| vector (for comparisons)."""
+        out = np.zeros(n_nodes)
+        gids, values = self.results_global(sharded)
+        out[gids] = values
+        return out

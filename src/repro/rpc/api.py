@@ -1,0 +1,224 @@
+"""The RPC context: worker registry, dispatch, and collectives.
+
+:class:`RpcContext` is the simulated counterpart of a ``torch.distributed.rpc``
+process group.  It routes :class:`~repro.rpc.rref.RRef` method calls either
+through the zero-copy local path (same simulated machine — direct invocation
+charged only the binding-layer overhead, mirroring the paper's shared-memory
+``VertexProp`` pass-through) or through the network cost model + FIFO server
+queue (remote machine).
+
+It also provides an all-reduce collective used by the GNN case study's
+DDP-style gradient synchronization.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import RpcError
+from repro.rpc.rref import RRef
+from repro.rpc.serialization import payload_sizes
+from repro.rpc.worker import RpcServer, WorkerInfo
+from repro.simt.futures import SimFuture
+from repro.simt.network import NetworkModel
+from repro.simt.process import SimProcess
+from repro.simt.scheduler import Scheduler
+
+
+class RpcContext:
+    """Registry + dispatcher for a simulated RPC group."""
+
+    def __init__(self, scheduler: Scheduler, network: NetworkModel,
+                 tracer=None) -> None:
+        self.scheduler = scheduler
+        self.network = network
+        self._workers: dict[str, WorkerInfo] = {}
+        self._processes: dict[str, SimProcess] = {}
+        self._servers: dict[str, RpcServer] = {}
+        self._collectives: dict[str, "_AllReduceRound"] = {}
+        #: running count of cross-machine requests (diagnostics/benchmarks)
+        self.remote_requests = 0
+        self.local_calls = 0
+        #: optional RpcTracer recording every dispatched call
+        self.tracer = tracer
+
+    # -- registration -----------------------------------------------------
+    def register_server(self, name: str, machine_id: int,
+                        colocated_with: str | None = None) -> RpcServer:
+        """Create a storage-server worker backed by a passive process."""
+        info = self._register(name, machine_id)
+        process = self.scheduler.add_passive(name)
+        host = self._processes[colocated_with] if colocated_with else None
+        server = RpcServer(info, process, host_process=host)
+        self._processes[name] = process
+        self._servers[name] = server
+        return server
+
+    def register_worker(self, name: str, machine_id: int,
+                        process: SimProcess) -> WorkerInfo:
+        """Register a computing-process worker with its coroutine process."""
+        info = self._register(name, machine_id)
+        self._processes[name] = process
+        return info
+
+    def _register(self, name: str, machine_id: int) -> WorkerInfo:
+        if name in self._workers:
+            raise RpcError(f"worker {name!r} already registered")
+        info = WorkerInfo(name, machine_id)
+        self._workers[name] = info
+        return info
+
+    # -- lookups ------------------------------------------------------------
+    def worker_info(self, name: str) -> WorkerInfo:
+        try:
+            return self._workers[name]
+        except KeyError:
+            raise RpcError(f"unknown worker {name!r}") from None
+
+    def process_of(self, name: str) -> SimProcess:
+        try:
+            return self._processes[name]
+        except KeyError:
+            raise RpcError(f"worker {name!r} has no registered process") from None
+
+    def server_of(self, name: str) -> RpcServer:
+        try:
+            return self._servers[name]
+        except KeyError:
+            raise RpcError(f"worker {name!r} is not a server") from None
+
+    # -- remote object lifecycle ------------------------------------------
+    def create_remote(self, owner_name: str, key: str,
+                      factory: Callable[..., Any], *args, **kwargs) -> RRef:
+        """Instantiate ``factory(*args, **kwargs)`` on ``owner_name``.
+
+        Setup happens outside measured time: graph-shard construction is a
+        preprocessing step whose cost the paper amortizes across queries.
+        """
+        server = self.server_of(owner_name)
+        server.put_object(key, factory(*args, **kwargs))
+        return RRef(self, owner_name, key)
+
+    # -- dispatch -----------------------------------------------------------
+    def rref_call(self, caller_name: str, rref: RRef, method: str,
+                  args: tuple, kwargs: dict) -> SimFuture:
+        """Dispatch a method call on an RRef; returns a virtual-time future."""
+        caller = self.process_of(caller_name)
+        caller_machine = self.worker_info(caller_name).machine_id
+        owner_machine = self.worker_info(rref.owner_name).machine_id
+        server = self.server_of(rref.owner_name)
+
+        if self.tracer is not None:
+            from repro.rpc.tracing import RpcCallRecord
+
+            req_b, req_t = payload_sizes([list(args), kwargs])
+            self.tracer.record(RpcCallRecord(
+                time=caller.clock, caller=caller_name,
+                owner=rref.owner_name, caller_machine=caller_machine,
+                owner_machine=owner_machine, method=method,
+                request_nbytes=req_b, request_tensors=req_t,
+                remote=caller_machine != owner_machine,
+            ))
+
+        if caller_machine == owner_machine:
+            # Shared-memory path: invoke directly on the caller's timeline.
+            self.local_calls += 1
+            caller.charge_seconds(self.network.local_call_overhead, "local_call")
+            fn = server.resolve_method(rref.key, method)
+            with caller.measured("local_exec"):
+                result = fn(*args, **kwargs)
+            return SimFuture.resolved(result, ready_time=caller.clock,
+                                      tag=f"local:{method}")
+
+        # Remote path: async issue, modeled transfer, FIFO service, reply.
+        self.remote_requests += 1
+        caller.charge_seconds(self.network.send_overhead(), "rpc_issue")
+        req_bytes, req_tensors = payload_sizes([list(args), kwargs])
+        arrival = caller.clock + self.network.transfer_time(req_bytes, req_tensors)
+        fut = SimFuture(tag=f"rpc:{rref.owner_name}.{method}")
+
+        def deliver() -> None:
+            try:
+                result, _start, end = server.serve(arrival, rref.key, method,
+                                                   args, kwargs)
+            except BaseException as exc:  # handler failure travels back
+                fut.set_exception(exc, arrival + self.network.transfer_time(64, 0))
+                return
+            resp_bytes, resp_tensors = payload_sizes(result)
+            ready = end + self.network.transfer_time(resp_bytes, resp_tensors)
+            fut.set_result(result, ready)
+
+        self.scheduler._schedule(arrival, deliver)
+        return fut
+
+    # -- collectives ----------------------------------------------------------
+    def allreduce_mean(self, group: str, caller_name: str, n_members: int,
+                       array: np.ndarray) -> SimFuture:
+        """Average ``array`` across ``n_members`` callers (DDP-style).
+
+        Every member calls once per round with the same ``group`` tag; all
+        futures resolve when the last member contributes, at a time that
+        accounts for gathering every contribution and broadcasting the
+        result (parameter-server model).
+        """
+        if n_members <= 0:
+            raise ValueError(f"n_members must be > 0, got {n_members}")
+        caller = self.process_of(caller_name)
+        round_ = self._collectives.get(group)
+        if round_ is None:
+            round_ = _AllReduceRound(n_members)
+            self._collectives[group] = round_
+        if round_.n_members != n_members:
+            raise RpcError(
+                f"allreduce group {group!r} size mismatch: "
+                f"{round_.n_members} != {n_members}"
+            )
+        caller.charge_seconds(self.network.send_overhead(), "allreduce_issue")
+        nbytes, n_tensors = payload_sizes(array)
+        arrive = caller.clock + self.network.transfer_time(nbytes, n_tensors)
+        fut = SimFuture(tag=f"allreduce:{group}:{caller_name}")
+        round_.add(array, arrive, fut)
+        if round_.complete:
+            del self._collectives[group]
+            mean = round_.mean()
+            ready = round_.latest_arrival + self.network.transfer_time(
+                nbytes, n_tensors
+            )
+            for member_fut in round_.futures:
+                member_fut.set_result(mean, ready)
+        return fut
+
+
+class _AllReduceRound:
+    """Accumulator for one in-flight all-reduce round."""
+
+    def __init__(self, n_members: int) -> None:
+        self.n_members = n_members
+        self.total: np.ndarray | None = None
+        self.latest_arrival = 0.0
+        self.futures: list[SimFuture] = []
+
+    def add(self, array: np.ndarray, arrival: float, fut: SimFuture) -> None:
+        if len(self.futures) >= self.n_members:
+            raise RpcError("allreduce round over-subscribed")
+        arr = np.asarray(array, dtype=np.float64)
+        if self.total is None:
+            self.total = arr.copy()
+        else:
+            if arr.shape != self.total.shape:
+                raise RpcError(
+                    f"allreduce shape mismatch: {arr.shape} != {self.total.shape}"
+                )
+            self.total += arr
+        self.latest_arrival = max(self.latest_arrival, arrival)
+        self.futures.append(fut)
+
+    @property
+    def complete(self) -> bool:
+        return len(self.futures) == self.n_members
+
+    def mean(self) -> np.ndarray:
+        assert self.total is not None
+        return self.total / self.n_members

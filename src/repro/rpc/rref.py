@@ -1,0 +1,76 @@
+"""Remote references.
+
+An :class:`RRef` is a distributed shared pointer to an object hosted on some
+worker's :class:`~repro.rpc.worker.RpcServer` — the same abstraction PyTorch
+RPC provides and the paper passes to every computing process (Section 3.1:
+"we create a Remote Reference for each Graph Storage object and pass these
+references to every computing process").
+
+Calls through an RRef are location-transparent: if the owner lives on the
+caller's machine, the call takes the zero-copy local path (object method is
+invoked directly, charged only the binding-layer overhead); otherwise the
+call is dispatched as an asynchronous RPC through the context.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import RpcError
+
+
+class RRef:
+    """Handle to an object hosted on ``owner_name`` under ``key``."""
+
+    __slots__ = ("ctx", "owner_name", "key")
+
+    def __init__(self, ctx, owner_name: str, key: str) -> None:
+        self.ctx = ctx
+        self.owner_name = owner_name
+        self.key = key
+
+    def owner(self):
+        """The :class:`~repro.rpc.worker.WorkerInfo` hosting the object."""
+        return self.ctx.worker_info(self.owner_name)
+
+    def is_owner(self, caller_worker: str) -> bool:
+        """Whether ``caller_worker`` lives on the owner's machine."""
+        return (
+            self.ctx.worker_info(caller_worker).machine_id
+            == self.owner().machine_id
+        )
+
+    def local_value(self) -> Any:
+        """Direct reference to the hosted object (shared-memory path).
+
+        Valid regardless of caller machine inside the simulation, but engine
+        code only uses it through the local-path dispatch in
+        :meth:`RpcContext.rref_call` to keep the distributed semantics
+        honest.
+        """
+        return self.ctx.server_of(self.owner_name).get_object(self.key)
+
+    def rpc_async(self, caller: str, method: str, *args, **kwargs):
+        """Asynchronously invoke ``method`` on the referenced object.
+
+        Returns a future.  ``caller`` is the invoking worker's name.
+        """
+        return self.ctx.rref_call(caller, self, method, args, kwargs)
+
+    def rpc_sync_effect(self, caller: str, method: str, *args, **kwargs):
+        """Convenience: a ``Wait`` effect for generator-based callers."""
+        from repro.simt.events import Wait
+
+        return Wait(self.rpc_async(caller, method, *args, **kwargs))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RRef(owner={self.owner_name!r}, key={self.key!r})"
+
+
+def check_rrefs(rrefs: list[RRef], expected: int) -> None:
+    """Validate a shard-indexed RRef list (one storage RRef per shard)."""
+    if len(rrefs) != expected:
+        raise RpcError(f"expected {expected} storage rrefs, got {len(rrefs)}")
+    for i, rref in enumerate(rrefs):
+        if not isinstance(rref, RRef):
+            raise RpcError(f"rrefs[{i}] is not an RRef: {type(rref).__name__}")

@@ -1,0 +1,245 @@
+"""Real-thread execution of the same coroutine drivers.
+
+The engine's distributed algorithms (Figure 4) are written once as generator
+coroutines yielding :mod:`repro.simt` effects.  Benchmarks drive them on the
+deterministic virtual-time scheduler; this module drives the *identical*
+code over real OS threads with blocking futures, providing an execution mode
+with genuine concurrency.  Tests use it to demonstrate that results are
+independent of the runtime (same PPR vectors, same walks) and that the
+storage layer is safe under concurrent readers.
+
+Timing semantics in thread mode: measured blocks accumulate real seconds on
+the process breakdown as usual, modeled ``Charge``/``Sleep`` effects are
+recorded but not slept (thread mode is for functional validation, not
+timing).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future as _PyFuture
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Generator
+
+from repro.errors import RpcError, SimulationError
+from repro.rpc.rref import RRef
+from repro.rpc.worker import WorkerInfo
+from repro.simt.events import Charge, Sleep, Wait, WaitAll
+from repro.utils.timer import CategoryTimer
+
+
+class ThreadFuture:
+    """Future resolved on a server thread; waiters block."""
+
+    __slots__ = ("_inner",)
+
+    def __init__(self, inner: _PyFuture) -> None:
+        self._inner = inner
+
+    @property
+    def done(self) -> bool:
+        return self._inner.done()
+
+    def value(self) -> Any:
+        return self._inner.result()
+
+    @classmethod
+    def resolved(cls, value: Any) -> "ThreadFuture":
+        inner: _PyFuture = _PyFuture()
+        inner.set_result(value)
+        return cls(inner)
+
+
+class ThreadProcess:
+    """Per-thread worker state mirroring :class:`~repro.simt.SimProcess`."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.clock = 0.0  # accumulated charged seconds (real, for reporting)
+        self.timer = CategoryTimer(on_charge=self._advance)
+        self.result: Any = None
+        self.exception: BaseException | None = None
+
+    def _advance(self, category: str, dt: float) -> None:
+        self.clock += dt
+
+    def charge_seconds(self, dt: float, category: str = "other") -> None:
+        self.timer.charge_seconds(category, dt)
+
+    def measured(self, category: str):
+        return self.timer.charge(category)
+
+    @property
+    def breakdown(self):
+        return self.timer.breakdown
+
+
+class _ThreadServer:
+    """Single-threaded FIFO server hosting remote objects."""
+
+    def __init__(self, info: WorkerInfo) -> None:
+        self.info = info
+        self.objects: dict[str, Any] = {}
+        self.executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"rpc-{info.name}"
+        )
+        self.requests_served = 0
+        self._lock = threading.Lock()
+
+    def put_object(self, key: str, obj: Any) -> None:
+        with self._lock:
+            if key in self.objects:
+                raise RpcError(f"object key {key!r} already exists")
+            self.objects[key] = obj
+
+    def get_object(self, key: str) -> Any:
+        try:
+            return self.objects[key]
+        except KeyError:
+            raise RpcError(
+                f"worker {self.info.name!r} hosts no object {key!r}"
+            ) from None
+
+    def resolve_method(self, key: str, method: str) -> Callable:
+        obj = self.get_object(key)
+        fn = getattr(obj, method, None)
+        if fn is None or not callable(fn):
+            raise RpcError(f"object {key!r} has no method {method!r}")
+        return fn
+
+    def shutdown(self) -> None:
+        self.executor.shutdown(wait=True)
+
+
+class ThreadRuntime:
+    """Thread-backed drop-in for ``(Scheduler, RpcContext)`` in tests.
+
+    Implements the same registration/dispatch surface as
+    :class:`~repro.rpc.api.RpcContext` so :class:`~repro.rpc.rref.RRef` and
+    the storage layer work unchanged.
+    """
+
+    def __init__(self) -> None:
+        self._workers: dict[str, WorkerInfo] = {}
+        self._processes: dict[str, ThreadProcess] = {}
+        self._servers: dict[str, _ThreadServer] = {}
+        self._threads: list[threading.Thread] = []
+        self.remote_requests = 0
+        self.local_calls = 0
+
+    # -- registration (RpcContext-compatible) ------------------------------
+    def register_server(self, name: str, machine_id: int,
+                        colocated_with: str | None = None) -> _ThreadServer:
+        info = self._register(name, machine_id)
+        server = _ThreadServer(info)
+        self._servers[name] = server
+        return server
+
+    def register_worker(self, name: str, machine_id: int,
+                        process: ThreadProcess | None = None) -> ThreadProcess:
+        self._register(name, machine_id)
+        proc = process if process is not None else ThreadProcess(name)
+        self._processes[name] = proc
+        return proc
+
+    def _register(self, name: str, machine_id: int) -> WorkerInfo:
+        if name in self._workers:
+            raise RpcError(f"worker {name!r} already registered")
+        info = WorkerInfo(name, machine_id)
+        self._workers[name] = info
+        return info
+
+    def worker_info(self, name: str) -> WorkerInfo:
+        try:
+            return self._workers[name]
+        except KeyError:
+            raise RpcError(f"unknown worker {name!r}") from None
+
+    def server_of(self, name: str) -> _ThreadServer:
+        try:
+            return self._servers[name]
+        except KeyError:
+            raise RpcError(f"worker {name!r} is not a server") from None
+
+    def process_of(self, name: str) -> ThreadProcess:
+        return self._processes[name]
+
+    def create_remote(self, owner_name: str, key: str,
+                      factory: Callable[..., Any], *args, **kwargs) -> RRef:
+        server = self.server_of(owner_name)
+        server.put_object(key, factory(*args, **kwargs))
+        return RRef(self, owner_name, key)
+
+    # -- dispatch -------------------------------------------------------------
+    def rref_call(self, caller_name: str, rref: RRef, method: str,
+                  args: tuple, kwargs: dict) -> ThreadFuture:
+        caller_machine = self.worker_info(caller_name).machine_id
+        owner_machine = self.worker_info(rref.owner_name).machine_id
+        server = self.server_of(rref.owner_name)
+        fn = server.resolve_method(rref.key, method)
+        if caller_machine == owner_machine:
+            self.local_calls += 1
+            return ThreadFuture.resolved(fn(*args, **kwargs))
+        self.remote_requests += 1
+
+        def handler() -> Any:
+            server.requests_served += 1
+            return fn(*args, **kwargs)
+
+        return ThreadFuture(server.executor.submit(handler))
+
+    # -- driving coroutines -------------------------------------------------
+    def spawn(self, name: str, body: Generator) -> ThreadProcess:
+        """Run a coroutine driver on its own thread."""
+        proc = self._processes.get(name)
+        if proc is None:
+            raise RpcError(
+                f"worker {name!r} must be registered (register_worker) "
+                "before spawning its driver"
+            )
+        thread = threading.Thread(
+            target=self._trampoline, args=(proc, body), name=name, daemon=True
+        )
+        self._threads.append(thread)
+        thread.start()
+        return proc
+
+    @staticmethod
+    def _trampoline(proc: ThreadProcess, body: Generator) -> None:
+        send_value: Any = None
+        try:
+            while True:
+                try:
+                    effect = body.send(send_value)
+                except StopIteration as stop:
+                    proc.result = stop.value
+                    return
+                if isinstance(effect, Wait):
+                    send_value = effect.future.value()
+                elif isinstance(effect, WaitAll):
+                    send_value = [f.value() for f in effect.futures]
+                elif isinstance(effect, Charge):
+                    proc.charge_seconds(effect.seconds,
+                                        effect.category or "charged")
+                    send_value = None
+                elif isinstance(effect, Sleep):
+                    send_value = None
+                else:
+                    raise SimulationError(f"unknown effect {effect!r}")
+        except BaseException as exc:  # surfaced via join()
+            proc.exception = exc
+
+    def join(self, timeout: float = 60.0) -> None:
+        """Wait for all spawned drivers; re-raise the first failure."""
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+            if thread.is_alive():
+                raise SimulationError(f"thread {thread.name!r} did not finish")
+        self._threads.clear()
+        for proc in self._processes.values():
+            if proc.exception is not None:
+                raise proc.exception
+
+    def shutdown(self) -> None:
+        for server in self._servers.values():
+            server.shutdown()

@@ -1,0 +1,85 @@
+"""RPC call tracing — communication observability.
+
+An :class:`RpcTracer` attached to an :class:`~repro.rpc.api.RpcContext`
+records every dispatched call (virtual time, endpoints, method, payload
+size and tensor count, local/remote).  Summaries answer the questions the
+paper's evaluation asks of its communication layer: how many requests, how
+many bytes, between which machines, and with what payload shapes — the raw
+material for Table 3-style analyses on arbitrary workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RpcCallRecord:
+    """One dispatched call."""
+
+    time: float
+    caller: str
+    owner: str
+    caller_machine: int
+    owner_machine: int
+    method: str
+    request_nbytes: int
+    request_tensors: int
+    remote: bool
+
+
+@dataclass
+class RpcTracer:
+    """Accumulates :class:`RpcCallRecord` entries."""
+
+    records: list[RpcCallRecord] = field(default_factory=list)
+
+    def record(self, rec: RpcCallRecord) -> None:
+        self.records.append(rec)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- summaries ----------------------------------------------------------
+    def remote_records(self) -> list[RpcCallRecord]:
+        return [r for r in self.records if r.remote]
+
+    def total_request_bytes(self, *, remote_only: bool = True) -> int:
+        recs = self.remote_records() if remote_only else self.records
+        return sum(r.request_nbytes for r in recs)
+
+    def calls_by_method(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for r in self.records:
+            out[r.method] = out.get(r.method, 0) + 1
+        return out
+
+    def machine_matrix(self, n_machines: int) -> np.ndarray:
+        """``(n, n)`` count of remote requests from machine i to machine j."""
+        m = np.zeros((n_machines, n_machines), dtype=np.int64)
+        for r in self.remote_records():
+            if r.caller_machine < n_machines and r.owner_machine < n_machines:
+                m[r.caller_machine, r.owner_machine] += 1
+        return m
+
+    def payload_percentiles(self, q=(50, 90, 99)) -> dict[int, float]:
+        """Remote request-size percentiles in bytes."""
+        sizes = [r.request_nbytes for r in self.remote_records()]
+        if not sizes:
+            return {p: 0.0 for p in q}
+        arr = np.array(sizes, dtype=np.float64)
+        return {p: float(np.percentile(arr, p)) for p in q}
+
+    def summary(self, n_machines: int) -> dict:
+        """One-shot report dictionary."""
+        remote = self.remote_records()
+        return {
+            "calls_total": len(self.records),
+            "calls_remote": len(remote),
+            "request_bytes_remote": self.total_request_bytes(),
+            "by_method": self.calls_by_method(),
+            "machine_matrix": self.machine_matrix(n_machines).tolist(),
+            "payload_percentiles": self.payload_percentiles(),
+        }

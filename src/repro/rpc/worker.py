@@ -1,0 +1,107 @@
+"""Workers and RPC servers.
+
+A :class:`WorkerInfo` names an endpoint in the RPC group — in the paper's
+setup, machine ``k`` registers one *Graph Storage server* worker plus ``P``
+*computing process* workers.
+
+An :class:`RpcServer` models the storage-server process: it owns named
+objects (the Graph Storage of its shard), serves requests FIFO on a single
+virtual thread (``next_free`` bookkeeping), and — optionally — can be
+*colocated* with a computing process, in which case service time is also
+charged to the host process's clock.  Colocation reproduces the GIL
+contention pathology the paper describes (Section 3.2.3: overlapping RPC
+target functions with local Python work stalls both); the engine's default
+follows the paper's fix of a separate server process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import RpcError
+from repro.simt.process import SimProcess
+from repro.utils.timer import Stopwatch
+
+
+@dataclass(frozen=True)
+class WorkerInfo:
+    """Identity of an RPC endpoint.
+
+    ``machine_id`` groups workers by simulated machine: calls between
+    workers of the same machine use the zero-copy shared-memory path, calls
+    across machines pay network costs.
+    """
+
+    name: str
+    machine_id: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("worker name must be non-empty")
+        if self.machine_id < 0:
+            raise ValueError(f"machine_id must be >= 0, got {self.machine_id}")
+
+
+class RpcServer:
+    """A FIFO single-threaded request server bound to one worker."""
+
+    def __init__(self, info: WorkerInfo, process: SimProcess,
+                 host_process: SimProcess | None = None) -> None:
+        self.info = info
+        self.process = process
+        #: computing process sharing the server's interpreter, if colocated
+        self.host_process = host_process
+        self.next_free = 0.0
+        self.objects: dict[str, Any] = {}
+        self.requests_served = 0
+
+    def put_object(self, key: str, obj: Any) -> None:
+        """Host an object under ``key`` (target of RRef calls)."""
+        if key in self.objects:
+            raise RpcError(f"object key {key!r} already exists on {self.info.name!r}")
+        self.objects[key] = obj
+
+    def get_object(self, key: str) -> Any:
+        try:
+            return self.objects[key]
+        except KeyError:
+            raise RpcError(
+                f"worker {self.info.name!r} hosts no object {key!r}; "
+                f"known: {sorted(self.objects)}"
+            ) from None
+
+    def resolve_method(self, key: str, method: str) -> Callable:
+        obj = self.get_object(key)
+        fn = getattr(obj, method, None)
+        if fn is None or not callable(fn):
+            raise RpcError(
+                f"object {key!r} on {self.info.name!r} has no method {method!r}"
+            )
+        return fn
+
+    def serve(self, arrival: float, key: str, method: str,
+              args: tuple, kwargs: dict) -> tuple[Any, float, float]:
+        """Execute a request that arrived at virtual time ``arrival``.
+
+        Returns ``(result, service_start, service_end)``.  The handler runs
+        *now* in real time (handlers are read-only over shard data, so
+        execution order does not affect results) and its measured duration
+        becomes the virtual service time.
+        """
+        fn = self.resolve_method(key, method)
+        start = max(arrival, self.next_free)
+        with Stopwatch() as sw:
+            result = fn(*args, **kwargs)
+        handler_dt = sw.elapsed
+        # Server clock accumulates busy time; the FIFO service horizon is
+        # tracked by next_free (which also covers idle gaps between arrivals).
+        self.process.charge_seconds(handler_dt, "serve")
+        end = start + handler_dt
+        self.next_free = end
+        self.requests_served += 1
+        if self.host_process is not None and self.host_process is not self.process:
+            # A colocated server steals interpreter time from its host
+            # process (GIL contention model).
+            self.host_process.charge_seconds(handler_dt, "gil_contention")
+        return result, start, end

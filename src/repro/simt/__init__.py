@@ -1,0 +1,43 @@
+"""``repro.simt`` — deterministic discrete-event virtual-time runtime.
+
+This package is the distributed substrate of the reproduction.  The paper
+evaluates its engine by *simulating* a K-machine cluster on one large host
+(Section 4.1: ``K x (P + 1)`` processes).  On a single-core box, real OS
+processes cannot exhibit parallel speedup, so we go one step further and
+account time virtually:
+
+* every simulated process (SSPPR computing process, graph-storage server)
+  owns a **virtual clock**;
+* real compute (actual NumPy work on actual shard data) is *measured* with
+  ``perf_counter`` and charged to the owner's clock;
+* network transfers are charged through an explicit :class:`NetworkModel`
+  (per-request overhead + per-tensor wrapping cost + bytes/bandwidth +
+  latency), calibrated to the TensorPipe behaviour the paper describes;
+* a scheduler interleaves process coroutines in event order, so server
+  contention, asynchronous overlap, and multi-machine parallelism all emerge
+  with the correct shape.
+
+Processes are plain Python generators that ``yield`` effects
+(:class:`Charge`, :class:`Sleep`, :class:`Wait`, :class:`WaitAll`) and call
+non-suspending methods (``charge_seconds``, ``measured`` context manager)
+directly on their :class:`SimProcess` handle.
+"""
+
+from repro.simt.events import Charge, Sleep, Wait, WaitAll
+from repro.simt.futures import SimFuture
+from repro.simt.network import NetworkModel
+from repro.simt.process import SimProcess
+from repro.simt.scheduler import Scheduler
+from repro.simt.sync import SimBarrier
+
+__all__ = [
+    "Charge",
+    "NetworkModel",
+    "Scheduler",
+    "SimBarrier",
+    "SimFuture",
+    "SimProcess",
+    "Sleep",
+    "Wait",
+    "WaitAll",
+]

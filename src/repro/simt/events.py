@@ -1,0 +1,59 @@
+"""Effect objects yielded by simulated process generators.
+
+A process body is a generator; yielding one of these objects suspends it and
+hands control to the scheduler:
+
+* :class:`Charge` — advance this process's virtual clock by ``seconds``
+  (optionally tagging a breakdown category) and resume.
+* :class:`Sleep` — identical clock effect to an uncategorized charge; kept
+  distinct for intent (idle wait vs. modeled work).
+* :class:`Wait` — suspend until a :class:`~repro.simt.futures.SimFuture`
+  resolves; the process resumes at ``max(own clock, future ready time)`` and
+  receives the future's value as the ``yield`` result.
+* :class:`WaitAll` — suspend until every future in a list resolves; resumes
+  at the latest ready time and receives the list of values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.simt.futures import SimFuture
+
+
+@dataclass(frozen=True)
+class Charge:
+    """Advance the yielding process's clock by ``seconds``."""
+
+    seconds: float
+    category: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError(f"cannot charge negative time: {self.seconds}")
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Idle the yielding process for ``seconds`` of virtual time."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError(f"cannot sleep negative time: {self.seconds}")
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Suspend until ``future`` resolves; yields its value back."""
+
+    future: SimFuture
+
+
+@dataclass(frozen=True)
+class WaitAll:
+    """Suspend until all ``futures`` resolve; yields their values as a list."""
+
+    futures: Sequence[SimFuture]

@@ -1,0 +1,53 @@
+"""Synchronization primitives for simulated processes.
+
+:class:`SimBarrier` — N-party barrier over virtual time: every participant
+receives a future that resolves when the last party arrives, at the latest
+arrival time.  The engine's throughput protocol implicitly barriers via
+makespan; drivers that need an *explicit* rendezvous (e.g. epoch boundaries
+in the GNN case study, gang-scheduled phases) use this.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.simt.futures import SimFuture
+
+
+class SimBarrier:
+    """Reusable N-party barrier (generation-counted)."""
+
+    def __init__(self, n_parties: int, *, name: str = "barrier") -> None:
+        if n_parties <= 0:
+            raise ValueError(f"n_parties must be > 0, got {n_parties}")
+        self.n_parties = n_parties
+        self.name = name
+        self.generation = 0
+        self._waiting: list[SimFuture] = []
+        self._latest = 0.0
+
+    def arrive(self, clock: float) -> SimFuture:
+        """Register arrival at virtual time ``clock``; wait on the result.
+
+        The returned future resolves with the generation number once all
+        parties of this generation have arrived, ready at the latest
+        arrival time.
+        """
+        if len(self._waiting) >= self.n_parties:
+            raise SimulationError(
+                f"barrier {self.name!r} over-subscribed in generation "
+                f"{self.generation}"
+            )
+        fut = SimFuture(tag=f"{self.name}.gen{self.generation}")
+        self._waiting.append(fut)
+        self._latest = max(self._latest, clock)
+        if len(self._waiting) == self.n_parties:
+            waiting, self._waiting = self._waiting, []
+            latest, self._latest = self._latest, 0.0
+            generation, self.generation = self.generation, self.generation + 1
+            for f in waiting:
+                f.set_result(generation, latest)
+        return fut
+
+    @property
+    def n_waiting(self) -> int:
+        return len(self._waiting)

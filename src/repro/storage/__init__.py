@@ -1,0 +1,40 @@
+"""``repro.storage`` — distributed graph storage (paper Section 3.2).
+
+Implements the storage stack exactly as the paper lays it out:
+
+* :class:`GraphShard` — one partition's data in CSR form: rows are *core
+  nodes* (the partition's METIS assignment), columns are core + *halo*
+  nodes (1-hop neighbors cached with their shard IDs, local IDs, edge
+  weights, and weighted degrees — Figures 2 and 3).  Storing neighbor
+  weighted degrees inline is what lets Forward Push threshold-check
+  remotely-owned nodes without extra RPCs.
+* :class:`VertexProp` — the zero-copy local-fetch result: views over the
+  shard arrays plus per-node extents, "a vector of shared pointers ...
+  without taking ownership of the original data".
+* :class:`NeighborBatch` — the CSR-compressed remote response (the
+  *Compress* optimization): five-ish flat arrays instead of a list of small
+  per-node tensors.  :class:`NeighborLists` is the uncompressed
+  list-of-lists response kept for the Table 3 ablation.
+* :class:`ShardedGraph` / :func:`build_shards` — partition-to-shard
+  preprocessing, including the global -> (local ID, shard ID) address
+  translation the engine uses everywhere.
+* :class:`DistGraphStorage` — the per-process facade of Figure 4:
+  ``get_neighbor_infos`` and ``sample_one_neighbor`` against local or
+  remote shards through RRefs.
+"""
+
+from repro.storage.build import ShardedGraph, build_shards
+from repro.storage.dist_storage import DistGraphStorage
+from repro.storage.neighbor_batch import NeighborBatch, NeighborLists
+from repro.storage.shard import GraphShard
+from repro.storage.vertex_prop import VertexProp
+
+__all__ = [
+    "DistGraphStorage",
+    "GraphShard",
+    "NeighborBatch",
+    "NeighborLists",
+    "ShardedGraph",
+    "VertexProp",
+    "build_shards",
+]

@@ -1,0 +1,102 @@
+"""Per-process facade over local + remote graph shards (Figure 4's ``g``).
+
+A :class:`DistGraphStorage` is constructed per computing process from the
+list of storage RRefs (one per shard) and the process's own shard ID.  Its
+methods mirror the paper's interface:
+
+* ``get_neighbor_infos(dest_shard, local_ids)`` — asynchronous batched
+  fetch.  Same-machine requests take the zero-copy :class:`VertexProp`
+  path; cross-machine requests return a CSR-compressed
+  :class:`NeighborBatch` (or the uncompressed list-of-lists when the
+  *Compress* optimization is disabled, for the Table 3 ablation).
+* ``get_neighbor_infos_single(dest_shard, local_id)`` — one node per RPC,
+  the unbatched ablation baseline.
+* ``sample_one_neighbor(dest_shard, local_ids)`` — random-walk step.
+
+All methods return a future (already resolved for local calls), so driver
+code is identical with and without overlap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rpc.rref import RRef, check_rrefs
+
+
+class DistGraphStorage:
+    """Figure 4's distributed graph storage handle."""
+
+    def __init__(self, rrefs: list[RRef], shard_id: int, caller: str, *,
+                 compress: bool = True) -> None:
+        check_rrefs(rrefs, len(rrefs))
+        if not 0 <= shard_id < len(rrefs):
+            raise ValueError(
+                f"shard_id {shard_id} out of range [0, {len(rrefs)})"
+            )
+        self.rrefs = rrefs
+        self.shard_id = int(shard_id)
+        self.caller = caller
+        self.compress = compress
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.rrefs)
+
+    def is_local(self, dest_shard: int) -> bool:
+        """Whether ``dest_shard``'s storage lives on the caller's machine."""
+        return self.rrefs[dest_shard].is_owner(self.caller)
+
+    def get_neighbor_infos(self, dest_shard: int, local_ids: np.ndarray):
+        """Batched neighbor fetch; returns a future of a batch response.
+
+        With ``compress`` on, same-machine requests take the zero-copy
+        ``VertexProp`` path and remote ones return a CSR
+        :class:`~repro.storage.neighbor_batch.NeighborBatch`.  With it off
+        (Table 3 ablation), *both* paths return the slow per-node-wrapped
+        list-of-lists — the paper introduces the shared-pointer local path
+        as part of the compression optimization ("tensor wrapping dominates
+        the local fetch time").
+        """
+        rref = self.rrefs[dest_shard]
+        if self.compress:
+            if self.is_local(dest_shard):
+                return rref.rpc_async(self.caller, "get_vertex_props", local_ids)
+            # 2-hop halo cache: if the local shard caches every requested
+            # node's row, answer from shared memory instead of the network.
+            local_rref = self.rrefs[self.shard_id]
+            local_shard = local_rref.local_value()
+            if (local_shard.has_halo_cache
+                    and local_shard.cache_covers(dest_shard, local_ids)):
+                return local_rref.rpc_async(
+                    self.caller, "get_cached_batch", dest_shard, local_ids
+                )
+            return rref.rpc_async(self.caller, "get_neighbor_batch", local_ids)
+        return rref.rpc_async(self.caller, "get_neighbor_lists", local_ids)
+
+    def get_neighbor_infos_single(self, dest_shard: int, local_id: int):
+        """Single-node fetch (the unbatched, uncompressed ablation baseline)."""
+        return self.rrefs[dest_shard].rpc_async(
+            self.caller, "get_single", int(local_id)
+        )
+
+    def sample_one_neighbor(self, dest_shard: int, local_ids: np.ndarray,
+                            salt: int | None = None):
+        """Sample one out-neighbor per node (random-walk step).
+
+        ``salt`` (e.g. the walk step number) makes sampling independent of
+        request arrival order — see GraphShard.sample_one_neighbor.
+        """
+        return self.rrefs[dest_shard].rpc_async(
+            self.caller, "sample_one_neighbor", local_ids, salt
+        )
+
+    def source_weighted_degrees(self, dest_shard: int, local_ids: np.ndarray):
+        """Fetch own weighted degrees (used to seed SSPPR queries)."""
+        return self.rrefs[dest_shard].rpc_async(
+            self.caller, "source_weighted_degrees", local_ids
+        )
+
+    def shard_masks(self, shard_ids: np.ndarray) -> dict[int, np.ndarray]:
+        """Boolean mask per destination shard (Figure 4's ``mask_dict``)."""
+        return {j: shard_ids == j for j in range(self.n_shards)}

@@ -1,0 +1,273 @@
+"""One partition's graph data: the Graph Shard of Section 3.2.2.
+
+Rows are the shard's *core nodes* (identified by local ID = rank within the
+shard's sorted global-ID list); for every core node the shard stores its
+full out-neighborhood as five parallel flat arrays:
+
+* ``nbr_local``  — neighbor local IDs (relative to the *owner* shard),
+* ``nbr_shard``  — neighbor owner shard IDs,
+* ``nbr_global`` — neighbor global IDs (used by random walks / baselines),
+* ``nbr_weight`` — edge weights,
+* ``nbr_wdeg``   — neighbors' weighted degrees (the 1-hop halo cache: lets
+  Forward Push threshold-check any touched node without a second RPC).
+
+plus ``core_wdeg``, the core nodes' own weighted degrees.  Neighbors owned
+by other shards are the shard's *halo nodes*; only their addressing and
+degree metadata is cached — their adjacency stays with their owner
+(Figure 3: "shards only store the data about core nodes").
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.errors import ShardError
+from repro.storage.neighbor_batch import NeighborBatch, NeighborLists
+from repro.storage.vertex_prop import VertexProp
+from repro.utils.rng import rng_from_seed
+
+
+class GraphShard:
+    """Immutable storage for one graph partition (plus halo metadata)."""
+
+    def __init__(self, shard_id: int, n_shards: int, core_global: np.ndarray,
+                 indptr: np.ndarray, nbr_local: np.ndarray,
+                 nbr_shard: np.ndarray, nbr_global: np.ndarray,
+                 nbr_weight: np.ndarray, nbr_wdeg: np.ndarray,
+                 core_wdeg: np.ndarray, *, seed=None) -> None:
+        if not 0 <= shard_id < n_shards:
+            raise ShardError(f"shard_id {shard_id} out of range [0, {n_shards})")
+        n_core = len(core_global)
+        if indptr.shape != (n_core + 1,):
+            raise ShardError(
+                f"indptr shape {indptr.shape} != ({n_core + 1},)"
+            )
+        n_entries = int(indptr[-1])
+        for name, arr in (("nbr_local", nbr_local), ("nbr_shard", nbr_shard),
+                          ("nbr_global", nbr_global), ("nbr_weight", nbr_weight),
+                          ("nbr_wdeg", nbr_wdeg)):
+            if len(arr) != n_entries:
+                raise ShardError(f"{name} length {len(arr)} != {n_entries}")
+        if len(core_wdeg) != n_core:
+            raise ShardError("core_wdeg length mismatch")
+        self.shard_id = int(shard_id)
+        self.n_shards = int(n_shards)
+        self.core_global = core_global
+        self.indptr = indptr
+        self.nbr_local = nbr_local
+        self.nbr_shard = nbr_shard
+        self.nbr_global = nbr_global
+        self.nbr_weight = nbr_weight
+        self.nbr_wdeg = nbr_wdeg
+        self.core_wdeg = core_wdeg
+        self._seed = seed
+        self._rng = rng_from_seed(seed)
+        self._rng_lock = threading.Lock()
+        # Optional 2-hop halo cache (install_halo_cache): full adjacency
+        # rows for this shard's 1-hop halo nodes, answerable locally.
+        self._cache_keys: np.ndarray | None = None
+        self._cache_indptr: np.ndarray | None = None
+        self._cache_arrays: tuple | None = None
+        self._cache_src_wdeg: np.ndarray | None = None
+
+    # -- validation ---------------------------------------------------------
+    @property
+    def n_core(self) -> int:
+        return len(self.core_global)
+
+    @property
+    def n_entries(self) -> int:
+        return len(self.nbr_local)
+
+    def halo_globals(self) -> np.ndarray:
+        """Global IDs of this shard's halo nodes (remote-owned neighbors)."""
+        remote = self.nbr_shard != self.shard_id
+        return np.unique(self.nbr_global[remote])
+
+    def memory_nbytes(self) -> int:
+        """Bytes held by the shard's arrays (paper: ~1.5x the raw CSR).
+
+        Includes the optional 2-hop halo cache when installed.
+        """
+        total = sum(arr.nbytes for arr in (
+            self.core_global, self.indptr, self.nbr_local, self.nbr_shard,
+            self.nbr_global, self.nbr_weight, self.nbr_wdeg, self.core_wdeg,
+        ))
+        if self._cache_keys is not None:
+            total += (self._cache_keys.nbytes + self._cache_indptr.nbytes
+                      + self._cache_src_wdeg.nbytes
+                      + sum(a.nbytes for a in self._cache_arrays))
+        return total
+
+    def _check_ids(self, local_ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(local_ids, dtype=np.int64)
+        if ids.ndim != 1:
+            raise ShardError(f"local_ids must be 1-D, got shape {ids.shape}")
+        if len(ids) and (ids.min() < 0 or ids.max() >= self.n_core):
+            raise ShardError(
+                f"local_ids out of range for shard {self.shard_id} "
+                f"(n_core={self.n_core}): [{ids.min()}, {ids.max()}]"
+            )
+        return ids
+
+    # -- fetch API (the "Graph Storage" operations) --------------------------
+    def get_vertex_props(self, local_ids) -> VertexProp:
+        """Zero-copy local fetch: views over the shard arrays."""
+        return VertexProp(self, self._check_ids(local_ids))
+
+    def get_neighbor_batch(self, local_ids) -> NeighborBatch:
+        """CSR-compressed batch response (remote fetch, *Compress* mode)."""
+        ids = self._check_ids(local_ids)
+        prop = VertexProp(self, ids)
+        (indptr, local, shard, glob, w, wdeg, src_wdeg) = prop.to_arrays()
+        return NeighborBatch(indptr, local, shard, glob, w, wdeg, src_wdeg)
+
+    def get_neighbor_lists(self, local_ids) -> NeighborLists:
+        """Uncompressed list-of-lists response (ablation: batch, no compress).
+
+        Each per-node tuple copies its slices — mirroring the tensor-
+        wrapping the paper identifies as the dominant cost of this format.
+        """
+        ids = self._check_ids(local_ids)
+        entries = []
+        for lid in ids:
+            s, e = self.indptr[lid], self.indptr[lid + 1]
+            entries.append((
+                self.nbr_local[s:e].copy(), self.nbr_shard[s:e].copy(),
+                self.nbr_global[s:e].copy(), self.nbr_weight[s:e].copy(),
+                self.nbr_wdeg[s:e].copy(),
+            ))
+        return NeighborLists(entries, self.core_wdeg[ids].copy())
+
+    def get_single(self, local_id: int) -> NeighborLists:
+        """One-node response (ablation: no batching at all)."""
+        return self.get_neighbor_lists(np.array([local_id], dtype=np.int64))
+
+    def source_weighted_degrees(self, local_ids) -> np.ndarray:
+        """Own weighted degrees of the given core nodes."""
+        return self.core_wdeg[self._check_ids(local_ids)]
+
+    def sample_one_neighbor(self, local_ids, salt: int | None = None):
+        """Uniformly sample one out-neighbor per requested core node.
+
+        Returns ``(next_local, next_global, next_shard)`` arrays, matching
+        the Figure 4 random-walk interface.  Nodes with no out-neighbors
+        stay in place (self-transition).
+
+        ``salt`` makes the draw a pure function of
+        ``(shard seed, salt, requested ids)`` — independent of request
+        *arrival order*, which carries measured-time jitter in the
+        simulator.  Callers wanting run-to-run reproducible walks pass a
+        per-step salt; without one, the shard's shared stream is used.
+        """
+        ids = self._check_ids(local_ids)
+        starts = self.indptr[ids]
+        counts = self.indptr[ids + 1] - starts
+        if salt is not None:
+            import zlib
+
+            digest = zlib.crc32(ids.tobytes())
+            base = (int(self._seed)
+                    if isinstance(self._seed, (int, np.integer)) else 0)
+            rng = np.random.default_rng((base, int(salt), digest))
+            offsets = rng.integers(0, np.maximum(counts, 1))
+        else:
+            with self._rng_lock:
+                offsets = self._rng.integers(0, np.maximum(counts, 1))
+        has = counts > 0
+        # Clamp picks for zero-degree nodes so the gather stays in bounds;
+        # their values are discarded by the np.where below.
+        pick = np.minimum(starts + offsets, max(self.n_entries - 1, 0))
+        next_local = np.where(has, self.nbr_local[pick], ids)
+        next_global = np.where(has, self.nbr_global[pick],
+                               self.core_global[ids])
+        next_shard = np.where(has, self.nbr_shard[pick], self.shard_id)
+        return next_local, next_global, next_shard
+
+    # -- 2-hop halo cache ----------------------------------------------------
+    # Section 3.2.1: "The higher the hop value for halo nodes, the lower
+    # the communication requirements and the higher the amount of stored
+    # data."  With the cache installed, this shard can answer neighbor-info
+    # requests for its 1-hop halo nodes locally (so the engine only goes
+    # remote for nodes 2+ hops outside the partition).
+
+    @property
+    def has_halo_cache(self) -> bool:
+        return self._cache_keys is not None
+
+    def install_halo_cache(self, cache_keys: np.ndarray,
+                           cache_indptr: np.ndarray, cache_arrays: tuple,
+                           cache_src_wdeg: np.ndarray) -> None:
+        """Attach cached adjacency rows for halo nodes.
+
+        ``cache_keys`` are sorted packed owner addresses
+        (``local * K + shard``); ``cache_arrays`` is the
+        (local, shard, global, weight, wdeg) tuple of flat arrays indexed
+        by ``cache_indptr``.
+        """
+        if len(cache_keys) and np.any(np.diff(cache_keys) <= 0):
+            raise ShardError("cache_keys must be strictly increasing")
+        if cache_indptr.shape != (len(cache_keys) + 1,):
+            raise ShardError("cache_indptr shape mismatch")
+        if len(cache_src_wdeg) != len(cache_keys):
+            raise ShardError("cache_src_wdeg length mismatch")
+        self._cache_keys = cache_keys
+        self._cache_indptr = cache_indptr
+        self._cache_arrays = cache_arrays
+        self._cache_src_wdeg = cache_src_wdeg
+
+    def cache_covers(self, dest_shard: int, local_ids: np.ndarray) -> bool:
+        """Whether every requested remote node is in the halo cache."""
+        if self._cache_keys is None or len(local_ids) == 0:
+            return self._cache_keys is not None and len(local_ids) == 0
+        keys = (np.asarray(local_ids, dtype=np.int64) * self.n_shards
+                + int(dest_shard))
+        pos = np.searchsorted(self._cache_keys, keys)
+        pos = np.minimum(pos, len(self._cache_keys) - 1)
+        return bool(np.all(self._cache_keys[pos] == keys))
+
+    def get_cached_batch(self, dest_shard: int,
+                         local_ids) -> NeighborBatch:
+        """Serve a remote shard's nodes from the local halo cache."""
+        if self._cache_keys is None:
+            raise ShardError(f"shard {self.shard_id} has no halo cache")
+        ids = np.asarray(local_ids, dtype=np.int64)
+        keys = ids * self.n_shards + int(dest_shard)
+        pos = np.searchsorted(self._cache_keys, keys)
+        if len(keys):
+            pos_clip = np.minimum(pos, len(self._cache_keys) - 1)
+            if np.any(self._cache_keys[pos_clip] != keys):
+                missing = keys[self._cache_keys[pos_clip] != keys]
+                raise ShardError(
+                    f"halo cache miss for {len(missing)} nodes of shard "
+                    f"{dest_shard} (first key {missing[0]})"
+                )
+            pos = pos_clip
+        starts = self._cache_indptr[pos]
+        counts = self._cache_indptr[pos + 1] - starts
+        indptr = np.zeros(len(ids) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        total = int(indptr[-1])
+        idx = np.repeat(starts - indptr[:-1], counts) + np.arange(total)
+        local, shard, glob, w, wdeg = self._cache_arrays
+        return NeighborBatch(indptr, local[idx], shard[idx], glob[idx],
+                             w[idx], wdeg[idx], self._cache_src_wdeg[pos])
+
+    # -- diagnostics -----------------------------------------------------------
+    def describe(self) -> dict:
+        """Summary stats used by preprocessing reports."""
+        return {
+            "shard_id": self.shard_id,
+            "n_core": self.n_core,
+            "n_halo": int(len(self.halo_globals())),
+            "n_entries": self.n_entries,
+            "memory_mb": self.memory_nbytes() / 1e6,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"GraphShard(id={self.shard_id}/{self.n_shards}, "
+            f"core={self.n_core}, entries={self.n_entries})"
+        )

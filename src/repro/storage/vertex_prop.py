@@ -1,0 +1,77 @@
+"""Zero-copy local fetch results.
+
+A :class:`VertexProp` is what a local (shared-memory) ``get_neighbor_infos``
+returns: no data is copied — it records the shard object and the requested
+core-node IDs, and exposes views into the shard's flat arrays.  This mirrors
+the paper's optimization of passing "a vector of shared pointers of
+VertexProp across the C++ and Python layers for local fetching, without
+taking ownership of the original data".
+
+``to_arrays()`` materializes the same tuple a :class:`NeighborBatch` carries
+(gather cost paid by the consumer, i.e. inside the push operator's measured
+block).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class VertexProp:
+    """Views over a shard's neighbor arrays for a batch of core nodes."""
+
+    __slots__ = ("shard", "ids", "_starts", "_ends")
+
+    def __init__(self, shard, ids: np.ndarray) -> None:
+        self.shard = shard
+        self.ids = ids
+        self._starts = shard.indptr[ids]
+        self._ends = shard.indptr[ids + 1]
+
+    @property
+    def n_sources(self) -> int:
+        return len(self.ids)
+
+    @property
+    def n_entries(self) -> int:
+        return int((self._ends - self._starts).sum())
+
+    def degree(self, i: int) -> int:
+        """Neighbor count of the i-th requested node."""
+        return int(self._ends[i] - self._starts[i])
+
+    def neighbors(self, i: int):
+        """Views: ``(local, shard, global, weight, wdeg)`` of node i's neighbors."""
+        s, e = self._starts[i], self._ends[i]
+        sh = self.shard
+        return (sh.nbr_local[s:e], sh.nbr_shard[s:e], sh.nbr_global[s:e],
+                sh.nbr_weight[s:e], sh.nbr_wdeg[s:e])
+
+    def source_weighted_degrees(self) -> np.ndarray:
+        """Own weighted degree of each requested node."""
+        return self.shard.core_wdeg[self.ids]
+
+    def to_arrays(self):
+        """Materialize ``(indptr, local, shard, global, w, wdeg, src_wdeg)``.
+
+        Fast path: a gather with one flat index array (no Python loop).
+        """
+        counts = self._ends - self._starts
+        indptr = np.zeros(len(self.ids) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        total = int(indptr[-1])
+        # flat gather indices: for each source i, range(starts[i], ends[i])
+        idx = np.repeat(self._starts - indptr[:-1], counts) + np.arange(total)
+        sh = self.shard
+        return (indptr, sh.nbr_local[idx], sh.nbr_shard[idx],
+                sh.nbr_global[idx], sh.nbr_weight[idx], sh.nbr_wdeg[idx],
+                sh.core_wdeg[self.ids])
+
+    def rpc_payload(self) -> tuple[int, int]:
+        """Local handoff is pointer-passing: negligible payload.
+
+        VertexProp never crosses machines in the engine; if it ever did, the
+        cost model would still see a tiny control payload rather than the
+        (unsent) underlying arrays.
+        """
+        return 16 * (len(self.ids) + 1), 1

@@ -1,0 +1,25 @@
+"""``repro.walk`` — distributed random walks (Figure 4, right panel).
+
+Random Walk is the paper's example of an algorithm that tensor operations
+handle *well*: fixed-length steps over a fixed-size frontier, needing only
+``sample_one_neighbor`` from the distributed storage.  Included both for API
+completeness and as the contrast case in the engine-vs-tensor discussion
+(the paper measures only a 1.7x speedup here, vs 83x+ for Forward Push).
+"""
+
+from repro.walk.bfs import BfsState, distributed_bfs, single_machine_bfs
+from repro.walk.node2vec import distributed_node2vec_walk
+from repro.walk.random_walk import distributed_random_walk, single_machine_random_walk
+from repro.walk.wcc import WccState, distributed_wcc, single_machine_wcc
+
+__all__ = [
+    "BfsState",
+    "WccState",
+    "distributed_bfs",
+    "distributed_node2vec_walk",
+    "distributed_random_walk",
+    "distributed_wcc",
+    "single_machine_bfs",
+    "single_machine_wcc",
+    "single_machine_random_walk",
+]

@@ -1,0 +1,214 @@
+"""Failure injection and synchronization-primitive tests.
+
+A distributed engine must fail *loudly and cleanly*: handler exceptions
+travel to the calling coroutine, invalid requests are rejected at the
+storage boundary, and one process's failure doesn't corrupt others'
+results.
+"""
+
+import numpy as np
+import pytest
+
+from repro import EngineConfig, PPRParams
+from repro.engine.cluster import SimCluster
+from repro.errors import ShardError, SimulationError
+from repro.graph import powerlaw_cluster
+from repro.partition import MetisLitePartitioner
+from repro.ppr import forward_push_parallel
+from repro.ppr.distributed import OptLevel, distributed_sppr_query
+from repro.simt import Scheduler, Sleep, Wait
+from repro.simt.sync import SimBarrier
+from repro.storage import DistGraphStorage, build_shards
+
+
+def make_cluster(graph, n_machines=2, seed=0):
+    sharded = build_shards(
+        graph, MetisLitePartitioner(seed=seed).partition(graph, n_machines)
+    )
+    cluster = SimCluster(sharded, EngineConfig(n_machines=n_machines))
+    return sharded, cluster
+
+
+class TestFailureInjection:
+    def test_invalid_remote_ids_raise_in_caller(self):
+        graph = powerlaw_cluster(200, 5, seed=0)
+        sharded, cluster = make_cluster(graph)
+        name = "compute:0.0"
+        g = DistGraphStorage(cluster.rrefs, 0, name)
+        caught = []
+
+        def driver():
+            fut = g.get_neighbor_infos(1, np.array([10**6]))
+            try:
+                yield Wait(fut)
+            except ShardError as exc:
+                caught.append(str(exc))
+
+        cluster.spawn_compute(0, 0, driver())
+        cluster.run()
+        assert caught and "out of range" in caught[0]
+
+    def test_one_failing_driver_does_not_corrupt_others(self):
+        graph = powerlaw_cluster(400, 6, mixing=0.2, seed=1)
+        sharded, cluster = make_cluster(graph, n_machines=2)
+        params = PPRParams(epsilon=1e-5)
+
+        good_name = "compute:0.0"
+        bad_name = "compute:1.0"
+        g_good = DistGraphStorage(cluster.rrefs, 0, good_name)
+        g_bad = DistGraphStorage(cluster.rrefs, 1, bad_name)
+        source = int(sharded.shards[0].core_global[0])
+        results = {}
+
+        def good_driver():
+            proc = cluster.scheduler.processes[good_name]
+            lid = int(sharded.owner_local[source])
+            state = yield from distributed_sppr_query(
+                g_good, proc, lid, params, opt=OptLevel.OVERLAP
+            )
+            results["good"] = state
+            return "ok"
+
+        def bad_driver():
+            yield Sleep(0.0)
+            raise RuntimeError("injected failure")
+
+        cluster.spawn_compute(0, 0, good_driver())
+        cluster.spawn_compute(1, 0, bad_driver())
+        cluster.run()
+        # the bad driver's failure is recorded, not swallowed
+        with pytest.raises(RuntimeError, match="injected"):
+            cluster.scheduler.result_of(bad_name)
+        # and the good driver's result is still correct
+        ref, _, _ = forward_push_parallel(graph, source, params)
+        dense = results["good"].dense_result(sharded, graph.n_nodes)
+        bound = 2 * params.epsilon * graph.weighted_degrees.sum()
+        assert np.abs(dense - ref).sum() <= bound
+
+    def test_handler_exception_has_clean_virtual_time(self):
+        """A failed RPC resolves its future at a finite virtual time."""
+
+        class Bomb:
+            def boom(self):
+                raise ValueError("kaboom")
+
+        from repro.rpc import RpcContext
+        from repro.simt import NetworkModel
+        sched = Scheduler()
+        ctx = RpcContext(sched, NetworkModel())
+        ctx.register_server("s0", 0)
+        rref = ctx.create_remote("s0", "bomb", Bomb)
+        seen = []
+
+        def body():
+            try:
+                yield Wait(rref.rpc_async("w1", "boom"))
+            except ValueError:
+                seen.append(sched.now)
+
+        proc = sched.spawn("w1", body())
+        ctx.register_worker("w1", 1, proc)
+        sched.run()
+        assert seen and np.isfinite(seen[0])
+
+    def test_driver_retry_after_failure(self):
+        """Drivers can catch an RPC failure and retry successfully."""
+
+        class Flaky:
+            def __init__(self):
+                self.calls = 0
+
+            def fetch(self):
+                self.calls += 1
+                if self.calls == 1:
+                    raise ConnectionError("transient")
+                return "data"
+
+        from repro.rpc import RpcContext
+        from repro.simt import NetworkModel
+        sched = Scheduler()
+        ctx = RpcContext(sched, NetworkModel())
+        ctx.register_server("s0", 0)
+        rref = ctx.create_remote("s0", "flaky", Flaky)
+        outcome = []
+
+        def body():
+            for _attempt in range(3):
+                try:
+                    value = yield Wait(rref.rpc_async("w1", "fetch"))
+                    outcome.append(value)
+                    return
+                except ConnectionError:
+                    continue
+
+        proc = sched.spawn("w1", body())
+        ctx.register_worker("w1", 1, proc)
+        sched.run()
+        assert outcome == ["data"]
+
+
+class TestSimBarrier:
+    def test_all_parties_resume_at_latest(self):
+        sched = Scheduler()
+        barrier = SimBarrier(3)
+        resumed = {}
+
+        def mk(name, delay):
+            def body():
+                yield Sleep(delay)
+                proc = sched.processes[name]
+                gen = yield Wait(barrier.arrive(proc.clock))
+                resumed[name] = (proc.clock, gen)
+            return body
+
+        for name, delay in (("a", 1.0), ("b", 5.0), ("c", 3.0)):
+            sched.spawn(name, mk(name, delay)())
+        sched.run()
+        for name, (clock, gen) in resumed.items():
+            assert clock == pytest.approx(5.0), name
+            assert gen == 0
+
+    def test_reusable_generations(self):
+        sched = Scheduler()
+        barrier = SimBarrier(2)
+        gens = []
+
+        def body(name, delays):
+            def run():
+                for d in delays:
+                    yield Sleep(d)
+                    proc = sched.processes[name]
+                    gen = yield Wait(barrier.arrive(proc.clock))
+                    gens.append(gen)
+            return run
+
+        sched.spawn("a", body("a", [1.0, 1.0])())
+        sched.spawn("b", body("b", [2.0, 2.0])())
+        sched.run()
+        assert sorted(gens) == [0, 0, 1, 1]
+        assert barrier.generation == 2
+
+    def test_invalid_parties(self):
+        with pytest.raises(ValueError):
+            SimBarrier(0)
+
+    def test_extra_arrivals_roll_into_next_generation(self):
+        """Completion resets the barrier, so arrivals beyond n_parties
+        start the next generation instead of over-subscribing."""
+        barrier = SimBarrier(1)
+        fut = barrier.arrive(0.0)
+        assert fut.done  # single party resolves immediately
+        barrier2 = SimBarrier(2)
+        f1 = barrier2.arrive(0.0)
+        f2 = barrier2.arrive(1.0)
+        assert f1.done and f2.done
+        f3 = barrier2.arrive(2.0)
+        assert not f3.done
+        assert barrier2.generation == 1
+        assert barrier2.n_waiting == 1
+
+    def test_n_waiting(self):
+        barrier = SimBarrier(3)
+        assert barrier.n_waiting == 0
+        barrier.arrive(0.0)
+        assert barrier.n_waiting == 1

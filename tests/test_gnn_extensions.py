@@ -1,0 +1,173 @@
+"""Tests for GNN extensions: GCN conv, dropout, evaluation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.gnn import Adam, Batch, Dropout, GcnConv, ShadowSage, evaluate
+from repro.gnn.eval import local_ppr_batch
+from repro.gnn.layers import softmax_cross_entropy
+from repro.graph import powerlaw_cluster
+from repro.partition import MetisLitePartitioner
+from repro.storage import build_shards
+from tests.test_gnn import numerical_grad
+
+
+class TestGcnConv:
+    def test_gradient_check(self):
+        rng = np.random.default_rng(0)
+        conv = GcnConv(3, 2, seed=1)
+        h = rng.normal(size=(6, 3))
+        adj = sp.random(6, 6, density=0.4, random_state=2, format="csr")
+        adj = adj + adj.T  # symmetric, as GCN assumes
+        adj_norm = GcnConv.normalize_adj(adj)
+        target = rng.normal(size=(6, 2))
+
+        def loss_fn():
+            return float(((conv.forward(h, adj_norm) - target) ** 2).sum())
+
+        out = conv.forward(h, adj_norm)
+        for p in conv.parameters():
+            p.zero_grad()
+        conv.backward(2 * (out - target))
+        for p in conv.parameters():
+            num = numerical_grad(loss_fn, p)
+            np.testing.assert_allclose(p.grad, num, rtol=1e-5, atol=1e-7)
+
+    def test_normalization_symmetric_with_self_loops(self):
+        adj = sp.csr_matrix(np.array([[0, 1.0], [1.0, 0]]))
+        norm = GcnConv.normalize_adj(adj).toarray()
+        np.testing.assert_allclose(norm, norm.T)
+        assert norm[0, 0] > 0  # self-loop present
+
+    def test_model_with_gcn_learns(self):
+        rng = np.random.default_rng(3)
+        model = ShadowSage(6, 16, 3, conv="gcn", seed=4)
+        adj = sp.random(10, 10, density=0.3, random_state=4, format="csr")
+        batch = Batch(
+            x=rng.normal(size=(10, 6)), adj=adj,
+            ego_idx=np.array([0, 4, 8]), y=np.array([0, 1, 2]),
+            global_ids=np.arange(10),
+        )
+        opt = Adam(model.parameters(), lr=5e-2)
+        first = None
+        for _ in range(50):
+            model.zero_grad()
+            loss, _ = model.loss_and_grad(batch)
+            first = loss if first is None else first
+            opt.step()
+        assert loss < first / 5
+
+    def test_invalid_conv_type(self):
+        with pytest.raises(ValueError, match="conv"):
+            ShadowSage(4, 4, 2, conv="gat")
+
+
+class TestDropout:
+    def test_identity_in_eval_mode(self):
+        d = Dropout(0.5, seed=0)
+        d.training = False
+        x = np.ones((4, 4))
+        np.testing.assert_array_equal(d.forward(x), x)
+
+    def test_preserves_expectation(self):
+        d = Dropout(0.5, seed=1)
+        x = np.ones((200, 200))
+        out = d.forward(x)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_backward_uses_same_mask(self):
+        d = Dropout(0.5, seed=2)
+        x = np.ones((10, 10))
+        out = d.forward(x)
+        grad = d.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad, out)
+
+    def test_zero_rate_is_identity(self):
+        d = Dropout(0.0)
+        x = np.random.default_rng(3).normal(size=(5, 5))
+        np.testing.assert_array_equal(d.forward(x), x)
+        np.testing.assert_array_equal(d.backward(x), x)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+    def test_model_train_mode_toggle(self):
+        model = ShadowSage(4, 8, 2, dropout=0.5, seed=5)
+        model.train_mode(False)
+        assert all(not d.training for d in model.dropouts)
+        model.train_mode(True)
+        assert all(d.training for d in model.dropouts)
+
+    def test_inference_deterministic_with_dropout_off(self):
+        rng = np.random.default_rng(6)
+        model = ShadowSage(4, 8, 2, dropout=0.5, seed=6)
+        adj = sp.random(8, 8, density=0.3, random_state=6, format="csr")
+        batch = Batch(x=rng.normal(size=(8, 4)), adj=adj,
+                      ego_idx=np.array([0]), y=np.array([0]),
+                      global_ids=np.arange(8))
+        model.train_mode(False)
+        a = model.forward(batch)
+        b = model.forward(batch)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestEvaluate:
+    @pytest.fixture(scope="class")
+    def task(self):
+        from repro.gnn import community_task
+        g = powerlaw_cluster(800, 8, mixing=0.08, n_communities=4, seed=7)
+        feats, labels = community_task(800, 4, 8, noise=0.3, seed=8)
+        sharded = build_shards(
+            g, MetisLitePartitioner(seed=0).partition(g, 2)
+        )
+        return g, feats, labels, sharded
+
+    def test_local_ppr_batch_shape(self, task):
+        g, feats, labels, sharded = task
+        egos = np.array([1, 100, 500])
+        batch = local_ppr_batch(sharded, feats, labels, egos, topk=16)
+        assert batch.n_nodes >= 3
+        np.testing.assert_array_equal(batch.global_ids[batch.ego_idx], egos)
+        np.testing.assert_array_equal(batch.y, labels[egos])
+
+    def test_untrained_model_near_random(self, task):
+        g, feats, labels, sharded = task
+        model = ShadowSage(8, 16, 4, seed=9)
+        rng = np.random.default_rng(10)
+        egos = rng.choice(800, size=40, replace=False)
+        report = evaluate(model, sharded, feats, labels, egos, topk=16)
+        assert 0.0 <= report["accuracy"] <= 1.0
+        assert report["n_egos"] == 40
+
+    def test_trained_model_beats_untrained(self, task):
+        g, feats, labels, sharded = task
+        rng = np.random.default_rng(11)
+        train_egos = rng.choice(800, size=48, replace=False)
+        val_egos = rng.choice(800, size=40, replace=False)
+
+        model = ShadowSage(8, 16, 4, seed=12)
+        before = evaluate(model, sharded, feats, labels, val_egos,
+                          topk=16)["accuracy"]
+        opt = Adam(model.parameters(), lr=2e-2)
+        for _ in range(6):
+            for start in range(0, len(train_egos), 8):
+                chunk = train_egos[start:start + 8]
+                batch = local_ppr_batch(sharded, feats, labels, chunk,
+                                        topk=16)
+                model.zero_grad()
+                model.loss_and_grad(batch)
+                opt.step()
+        after = evaluate(model, sharded, feats, labels, val_egos,
+                         topk=16)["accuracy"]
+        assert after > before
+        assert after > 0.5  # well above the 0.25 random baseline
+
+    def test_eval_restores_training_mode(self, task):
+        g, feats, labels, sharded = task
+        model = ShadowSage(8, 8, 4, dropout=0.3, seed=13)
+        evaluate(model, sharded, feats, labels, np.array([1, 2]), topk=8)
+        assert all(d.training for d in model.dropouts)

@@ -1,0 +1,181 @@
+"""Tests for graph generators, dataset stand-ins, IO, and stats."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    DATASETS,
+    complete_graph,
+    compute_stats,
+    cycle_graph,
+    erdos_renyi,
+    load_dataset,
+    load_npz,
+    path_graph,
+    powerlaw_cluster,
+    rmat,
+    save_npz,
+    star_graph,
+    table1_rows,
+)
+from repro.graph.stats import format_table
+
+
+class TestDeterministicGraphs:
+    def test_path(self):
+        g = path_graph(4)
+        assert g.n_arcs == 6
+        np.testing.assert_array_equal(g.neighbors(1), [0, 2])
+        assert g.out_degree(0) == 1
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        np.testing.assert_array_equal(g.out_degree(), [2] * 5)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.out_degree(0) == 6
+        assert g.out_degree(3) == 1
+
+    def test_complete(self):
+        g = complete_graph(5)
+        np.testing.assert_array_equal(g.out_degree(), [4] * 5)
+
+
+class TestRandomGenerators:
+    def test_powerlaw_reproducible(self):
+        g1 = powerlaw_cluster(500, 8, seed=3)
+        g2 = powerlaw_cluster(500, 8, seed=3)
+        np.testing.assert_array_equal(g1.indices, g2.indices)
+        np.testing.assert_allclose(g1.weights, g2.weights)
+
+    def test_powerlaw_avg_degree_near_target(self):
+        g = powerlaw_cluster(2000, 10, exponent=2.5, seed=5)
+        realized = g.n_arcs / g.n_nodes
+        assert 6.0 < realized <= 10.5
+
+    def test_powerlaw_respects_cap_roughly(self):
+        g = powerlaw_cluster(3000, 10, exponent=1.8, max_degree=60, seed=7)
+        # realized degrees fluctuate around expected; allow Poisson headroom
+        assert g.out_degree().max() < 60 * 2
+
+    def test_powerlaw_is_skewed(self):
+        g = powerlaw_cluster(3000, 10, exponent=2.0, seed=9)
+        deg = g.out_degree()
+        assert deg.max() > 5 * deg.mean()
+
+    def test_powerlaw_invalid_cap(self):
+        with pytest.raises(ValueError, match="max_degree"):
+            powerlaw_cluster(100, 10, max_degree=5, seed=0)
+
+    def test_powerlaw_weights_in_range(self):
+        g = powerlaw_cluster(200, 6, seed=1)
+        assert np.all(g.weights > 0.5 - 1e-9)
+        assert np.all(g.weights < 1.5 + 1e-9)
+
+    def test_unweighted_option(self):
+        g = powerlaw_cluster(200, 6, weighted=False, seed=1)
+        np.testing.assert_array_equal(g.weights, np.ones(g.n_arcs))
+
+    def test_rmat_shape(self):
+        g = rmat(8, edge_factor=4, seed=11)
+        assert g.n_nodes == 256
+        assert g.n_arcs > 0
+        assert g.is_symmetric()
+
+    def test_rmat_invalid_probs(self):
+        with pytest.raises(ValueError, match="R-MAT"):
+            rmat(4, a=0.9, b=0.2, c=0.2)
+
+    def test_rmat_skew(self):
+        g = rmat(10, edge_factor=8, seed=13)
+        deg = g.out_degree()
+        assert deg.max() > 4 * deg.mean()
+
+    def test_erdos_renyi_near_uniform(self):
+        g = erdos_renyi(2000, 10, seed=17)
+        deg = g.out_degree()
+        assert deg.max() < 4 * deg.mean()
+
+
+class TestDatasets:
+    def test_registry_names(self):
+        assert set(DATASETS) == {"products", "twitter", "friendster", "papers"}
+
+    def test_tiny_scale_loads(self):
+        g = load_dataset("products", scale=0.01, use_cache=False)
+        assert g.n_nodes == 250
+        assert g.is_symmetric()
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("nope")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            DATASETS["products"].generate(scale=0.0)
+
+    def test_cache_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        g1 = load_dataset("products", scale=0.01)
+        assert (tmp_path / "products-s0.01-seed101.npz").exists()
+        g2 = load_dataset("products", scale=0.01)
+        np.testing.assert_array_equal(g1.indices, g2.indices)
+
+    def test_skew_ordering_matches_paper(self):
+        """d_max/d_avg: twitter > papers > products > friendster."""
+        ratios = {}
+        for name in DATASETS:
+            g = load_dataset(name, scale=0.08, use_cache=False)
+            s = compute_stats(name, g)
+            ratios[name] = s.max_degree / max(s.avg_degree, 1e-9)
+        assert ratios["twitter"] > ratios["products"] > ratios["friendster"]
+        assert ratios["papers"] > ratios["products"]
+
+
+class TestIO:
+    def test_npz_roundtrip(self, tmp_path):
+        g = powerlaw_cluster(300, 6, seed=2)
+        path = tmp_path / "g.npz"
+        save_npz(path, g)
+        g2 = load_npz(path)
+        assert g2.n_nodes == g.n_nodes
+        np.testing.assert_array_equal(g.indptr, g2.indptr)
+        np.testing.assert_array_equal(g.indices, g2.indices)
+        np.testing.assert_allclose(g.weights, g2.weights)
+
+    def test_malformed_file(self, tmp_path):
+        import numpy as np
+        from repro.errors import GraphFormatError
+        path = tmp_path / "bad.npz"
+        np.savez(path, junk=np.zeros(3))
+        with pytest.raises(GraphFormatError, match="malformed"):
+            load_npz(path)
+
+
+class TestStats:
+    def test_compute_stats(self):
+        g = path_graph(4)
+        s = compute_stats("p4", g)
+        assert s.n_nodes == 4
+        assert s.n_edges == 3
+        assert s.max_degree == 2
+        assert s.avg_degree == pytest.approx(1.5)
+        assert s.isolated_nodes == 0
+
+    def test_table1_rows(self):
+        rows = table1_rows({"a": path_graph(3), "b": star_graph(4)})
+        assert [r["Name"] for r in rows] == ["a", "b"]
+        assert rows[1]["d_max"] == 4
+
+    def test_format_table(self):
+        rows = table1_rows({"a": path_graph(3)})
+        text = format_table(rows)
+        assert "Name" in text and "d_max" in text
+
+    def test_format_empty(self):
+        assert "empty" in format_table([])

@@ -1,0 +1,119 @@
+"""Tests for the 2-hop halo cache (build, dispatch, correctness)."""
+
+import numpy as np
+import pytest
+
+from repro import EngineConfig, GraphEngine, PPRParams
+from repro.errors import ShardError
+from repro.graph import powerlaw_cluster
+from repro.partition import HashPartitioner, MetisLitePartitioner
+from repro.ppr import forward_push_parallel
+from repro.storage import build_shards
+
+PARAMS = PPRParams()
+
+
+class TestBuild:
+    def test_halo_hops_validation(self):
+        g = powerlaw_cluster(100, 4, seed=0)
+        res = HashPartitioner().partition(g, 2)
+        with pytest.raises(ShardError, match="halo_hops"):
+            build_shards(g, res, halo_hops=3)
+
+    def test_default_has_no_cache(self):
+        g = powerlaw_cluster(100, 4, seed=0)
+        sharded = build_shards(g, HashPartitioner().partition(g, 2))
+        assert not sharded.shards[0].has_halo_cache
+
+    def test_cache_installed_at_two_hops(self):
+        g = powerlaw_cluster(100, 4, seed=0)
+        sharded = build_shards(g, HashPartitioner().partition(g, 2),
+                               halo_hops=2)
+        for shard in sharded.shards:
+            assert shard.has_halo_cache
+
+    def test_cache_increases_memory(self):
+        g = powerlaw_cluster(300, 6, seed=1)
+        res = HashPartitioner().partition(g, 2)
+        m1 = build_shards(g, res).total_memory_nbytes()
+        m2 = build_shards(g, res, halo_hops=2).total_memory_nbytes()
+        assert m2 > m1
+
+    def test_cached_rows_match_owner_rows(self):
+        """A cached halo row must equal the row the owner shard serves."""
+        g = powerlaw_cluster(300, 6, seed=2)
+        sharded = build_shards(
+            g, MetisLitePartitioner(seed=0).partition(g, 3), halo_hops=2
+        )
+        shard0 = sharded.shards[0]
+        halos = shard0.halo_globals()[:10]
+        local, owner = sharded.address_of(halos)
+        for gid, lid, own in zip(halos, local, owner):
+            cached = shard0.get_cached_batch(int(own),
+                                             np.array([lid]))
+            authoritative = sharded.shards[own].get_neighbor_batch(
+                np.array([lid])
+            )
+            for a, b in zip(cached.to_arrays(), authoritative.to_arrays()):
+                np.testing.assert_array_equal(a, b)
+
+    def test_cache_covers(self):
+        g = powerlaw_cluster(200, 5, seed=3)
+        sharded = build_shards(g, HashPartitioner().partition(g, 2),
+                               halo_hops=2)
+        shard0 = sharded.shards[0]
+        halos = shard0.halo_globals()
+        local, owner = sharded.address_of(halos)
+        own1 = owner == 1
+        assert shard0.cache_covers(1, local[own1][:5])
+        # a core node of shard 1 that is NOT shard 0's halo
+        non_halo = np.setdiff1d(sharded.shards[1].core_global, halos)
+        if len(non_halo):
+            lid, _ = sharded.address_of(non_halo[:1])
+            assert not shard0.cache_covers(1, lid)
+
+    def test_cache_miss_raises(self):
+        g = powerlaw_cluster(200, 5, seed=4)
+        sharded = build_shards(g, HashPartitioner().partition(g, 2),
+                               halo_hops=2)
+        shard0 = sharded.shards[0]
+        halos = shard0.halo_globals()
+        non_halo = np.setdiff1d(sharded.shards[1].core_global, halos)
+        if len(non_halo) == 0:
+            pytest.skip("all of shard 1 is halo for shard 0")
+        lid, _ = sharded.address_of(non_halo[:1])
+        with pytest.raises(ShardError, match="halo cache miss"):
+            shard0.get_cached_batch(1, lid)
+
+    def test_no_cache_raises(self):
+        g = powerlaw_cluster(100, 4, seed=5)
+        sharded = build_shards(g, HashPartitioner().partition(g, 2))
+        with pytest.raises(ShardError, match="no halo cache"):
+            sharded.shards[0].get_cached_batch(1, np.array([0]))
+
+
+class TestEngineWithCache:
+    def test_results_identical_to_uncached(self):
+        g = powerlaw_cluster(500, 8, mixing=0.2, seed=6)
+        e1 = GraphEngine(g, EngineConfig(n_machines=3, halo_hops=1, seed=0))
+        e2 = GraphEngine(g, EngineConfig(n_machines=3, halo_hops=2, seed=0))
+        r1 = e1.run_queries(n_queries=6, keep_states=True, seed=7)
+        r2 = e2.run_queries(sources=np.array(sorted(r1.states)),
+                            keep_states=True, seed=7)
+        bound = 2 * PARAMS.epsilon * g.weighted_degrees.sum()
+        for gid in r1.states:
+            ref, _, _ = forward_push_parallel(g, gid, PARAMS)
+            d2 = r2.states[gid].dense_result(e2.sharded, g.n_nodes)
+            assert np.abs(d2 - ref).sum() <= bound
+
+    def test_reduces_remote_requests(self):
+        g = powerlaw_cluster(500, 8, mixing=0.3, seed=8)
+        e1 = GraphEngine(g, EngineConfig(n_machines=3, halo_hops=1, seed=0))
+        e2 = GraphEngine(g, EngineConfig(n_machines=3, halo_hops=2, seed=0))
+        r1 = e1.run_queries(n_queries=8, seed=9)
+        r2 = e2.run_queries(n_queries=8, seed=9)
+        assert r2.remote_requests < r1.remote_requests
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="halo_hops"):
+            EngineConfig(halo_hops=3)

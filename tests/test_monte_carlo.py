@@ -1,0 +1,80 @@
+"""Tests for the Monte-Carlo SSPPR estimator (the third method family)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, path_graph, powerlaw_cluster, star_graph
+from repro.ppr import (
+    monte_carlo_ssppr,
+    monte_carlo_ssppr_unweighted,
+    power_iteration_ssppr,
+    topk_precision,
+)
+
+
+class TestMonteCarloWeighted:
+    def test_sums_to_one(self):
+        g = powerlaw_cluster(100, 5, seed=0)
+        est = monte_carlo_ssppr(g, 0, n_walks=500, seed=1)
+        assert est.sum() == pytest.approx(1.0)
+
+    def test_approaches_ground_truth(self):
+        g = powerlaw_cluster(150, 5, seed=2)
+        exact = power_iteration_ssppr(g, 3, alpha=0.462)
+        est = monte_carlo_ssppr(g, 3, alpha=0.462, n_walks=4000, seed=3)
+        # L1 error of a 4000-walk estimate: loose but meaningful bound
+        assert np.abs(est - exact).sum() < 0.5
+        assert topk_precision(est, exact, 10) >= 0.5
+
+    def test_variance_shrinks_with_walks(self):
+        g = powerlaw_cluster(120, 5, seed=4)
+        exact = power_iteration_ssppr(g, 0, alpha=0.462)
+        err_small = np.abs(
+            monte_carlo_ssppr(g, 0, n_walks=200, seed=5) - exact
+        ).sum()
+        err_big = np.abs(
+            monte_carlo_ssppr(g, 0, n_walks=8000, seed=5) - exact
+        ).sum()
+        assert err_big < err_small
+
+    def test_dangling_source(self):
+        g = CSRGraph.from_edges(3, [0], [1])  # node 2 isolated
+        est = monte_carlo_ssppr(g, 2, n_walks=100, seed=6)
+        assert est[2] == pytest.approx(1.0)
+
+    def test_invalid_args(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            monte_carlo_ssppr(g, 9)
+        with pytest.raises(ValueError):
+            monte_carlo_ssppr(g, 0, alpha=0.0)
+        with pytest.raises(ValueError):
+            monte_carlo_ssppr(g, 0, n_walks=0)
+
+    def test_reproducible(self):
+        g = powerlaw_cluster(80, 4, seed=7)
+        a = monte_carlo_ssppr(g, 0, n_walks=300, seed=8)
+        b = monte_carlo_ssppr(g, 0, n_walks=300, seed=8)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestMonteCarloUnweighted:
+    def test_sums_to_one(self):
+        g = powerlaw_cluster(100, 5, weighted=False, seed=9)
+        est = monte_carlo_ssppr_unweighted(g, 0, n_walks=500, seed=10)
+        assert est.sum() == pytest.approx(1.0)
+
+    def test_matches_weighted_on_unit_weights(self):
+        """On a unit-weight graph both samplers target the same law."""
+        g = powerlaw_cluster(120, 5, weighted=False, seed=11)
+        exact = power_iteration_ssppr(g, 2, alpha=0.462)
+        est_u = monte_carlo_ssppr_unweighted(g, 2, n_walks=6000, seed=12)
+        est_w = monte_carlo_ssppr(g, 2, n_walks=6000, seed=12)
+        assert np.abs(est_u - exact).sum() < 0.45
+        assert np.abs(est_w - exact).sum() < 0.45
+
+    def test_star_concentrates_on_center(self):
+        g = star_graph(8)
+        est = monte_carlo_ssppr_unweighted(g, 0, alpha=0.5, n_walks=2000,
+                                           seed=13)
+        assert est[0] > est[1:].max()

@@ -1,0 +1,217 @@
+"""Tests for Forward Push variants, power iteration, and accuracy metrics.
+
+The central correctness claims:
+
+* sequential and parallel Forward Push conserve mass and approximate the
+  power-iteration ground truth within the epsilon error bound;
+* the hashmap-based SSPPR operators produce the same result as the
+  single-machine parallel reference when fed the same graph through shards.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import CSRGraph, cycle_graph, erdos_renyi, path_graph, powerlaw_cluster, star_graph
+from repro.ppr import (
+    PPRParams,
+    forward_push_parallel,
+    forward_push_sequential,
+    l1_error,
+    power_iteration_ssppr,
+    topk_nodes,
+    topk_precision,
+)
+from repro.ppr.power_iteration import build_transition
+
+PARAMS = PPRParams(alpha=0.462, epsilon=1e-6)
+
+
+class TestParams:
+    def test_defaults_match_paper(self):
+        p = PPRParams()
+        assert p.alpha == pytest.approx(0.462)
+        assert p.epsilon == pytest.approx(1e-6)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            PPRParams(alpha=1.0)
+        with pytest.raises(ValueError):
+            PPRParams(alpha=0.0)
+        with pytest.raises(ValueError):
+            PPRParams(epsilon=0.0)
+
+    def test_with_epsilon(self):
+        p = PPRParams().with_epsilon(1e-4)
+        assert p.epsilon == 1e-4
+        assert p.alpha == pytest.approx(0.462)
+
+
+class TestSequentialPush:
+    def test_mass_conservation(self):
+        g = powerlaw_cluster(200, 6, seed=0)
+        ppr, residual, _ = forward_push_sequential(g, 0, PARAMS)
+        assert ppr.sum() + residual.sum() == pytest.approx(1.0)
+
+    def test_residuals_below_threshold_at_end(self):
+        g = powerlaw_cluster(200, 6, seed=1)
+        _, residual, _ = forward_push_sequential(g, 5, PARAMS)
+        thresh = PARAMS.epsilon * g.weighted_degrees
+        assert np.all(residual <= thresh + 1e-15)
+
+    def test_source_gets_largest_share_on_path(self):
+        g = path_graph(10)
+        ppr, _, _ = forward_push_sequential(g, 4, PARAMS)
+        assert np.argmax(ppr) == 4
+
+    def test_star_center_vs_leaves(self):
+        g = star_graph(10)
+        ppr, _, _ = forward_push_sequential(g, 0, PARAMS)
+        # all leaves are symmetric
+        np.testing.assert_allclose(ppr[1:], ppr[1], atol=1e-9)
+        assert ppr[0] > ppr[1]
+
+    def test_isolated_source_absorbs_everything(self):
+        g = CSRGraph.from_edges(3, [0], [1])  # node 2 isolated
+        ppr, residual, _ = forward_push_sequential(g, 2, PARAMS)
+        assert ppr[2] == pytest.approx(1.0)
+        assert residual.sum() == pytest.approx(0.0)
+
+    def test_bad_source(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            forward_push_sequential(g, 3, PARAMS)
+
+    def test_matches_power_iteration(self):
+        g = powerlaw_cluster(150, 5, seed=2)
+        ppr, _, _ = forward_push_sequential(g, 3, PARAMS)
+        exact = power_iteration_ssppr(g, 3, alpha=PARAMS.alpha)
+        # epsilon-approximation: total error bounded by eps * sum(d_w)
+        assert l1_error(ppr, exact) <= PARAMS.epsilon * g.weighted_degrees.sum() + 1e-9
+
+
+class TestParallelPush:
+    def test_mass_conservation(self):
+        g = powerlaw_cluster(200, 6, seed=3)
+        ppr, residual, _ = forward_push_parallel(g, 0, PARAMS)
+        assert ppr.sum() + residual.sum() == pytest.approx(1.0)
+
+    def test_matches_sequential(self):
+        g = powerlaw_cluster(150, 5, seed=4)
+        seq, _, _ = forward_push_sequential(g, 7, PARAMS)
+        par, _, _ = forward_push_parallel(g, 7, PARAMS)
+        # both are eps-approximations; they agree to ~eps * d_w scale
+        assert l1_error(seq, par) <= 2 * PARAMS.epsilon * g.weighted_degrees.sum()
+
+    def test_parallel_uses_more_or_equal_pushes(self):
+        """The paper: the parallel version needs slightly more pushes."""
+        g = powerlaw_cluster(300, 8, seed=5)
+        totals = []
+        for s in (0, 3, 11):
+            _, _, seq_stats = forward_push_sequential(g, s, PARAMS)
+            _, _, par_stats = forward_push_parallel(g, s, PARAMS)
+            totals.append((seq_stats.n_pushes, par_stats.n_pushes))
+        assert sum(p for _, p in totals) >= sum(s for s, _ in totals)
+
+    def test_fewer_iterations_than_pushes(self):
+        g = powerlaw_cluster(300, 8, seed=6)
+        _, _, stats = forward_push_parallel(g, 0, PARAMS)
+        assert stats.n_iterations < stats.n_pushes
+
+    def test_cycle_symmetry(self):
+        g = cycle_graph(9)
+        ppr, _, _ = forward_push_parallel(g, 0, PARAMS)
+        # symmetric around the source
+        for k in range(1, 5):
+            assert ppr[k] == pytest.approx(ppr[9 - k], rel=1e-6)
+
+
+class TestPowerIteration:
+    def test_sums_to_one(self):
+        g = powerlaw_cluster(150, 5, seed=7)
+        pi = power_iteration_ssppr(g, 0)
+        assert pi.sum() == pytest.approx(1.0, abs=1e-8)
+
+    def test_dangling_self_loop_semantics(self):
+        g = CSRGraph.from_edges(3, [0], [1])  # node 2 isolated
+        pi = power_iteration_ssppr(g, 2)
+        assert pi[2] == pytest.approx(1.0, abs=1e-8)
+
+    def test_source_out_of_range(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            power_iteration_ssppr(g, 5)
+
+    def test_reused_transition_matches(self):
+        g = powerlaw_cluster(100, 5, seed=8)
+        pt = build_transition(g)
+        a = power_iteration_ssppr(g, 4, pt=pt)
+        b = power_iteration_ssppr(g, 4)
+        np.testing.assert_allclose(a, b)
+
+    def test_alpha_one_like_behavior_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            power_iteration_ssppr(g, 0, alpha=1.5)
+
+
+class TestAccuracyMetrics:
+    def test_topk_nodes(self):
+        scores = np.array([0.1, 0.9, 0.5, 0.7])
+        np.testing.assert_array_equal(topk_nodes(scores, 2), [1, 3])
+
+    def test_topk_more_than_len(self):
+        scores = np.array([0.3, 0.1])
+        np.testing.assert_array_equal(topk_nodes(scores, 10), [0, 1])
+
+    def test_topk_precision_perfect(self):
+        a = np.array([0.5, 0.4, 0.3, 0.0])
+        assert topk_precision(a, a.copy(), 3) == 1.0
+
+    def test_topk_precision_partial(self):
+        a = np.array([1.0, 0.9, 0.0, 0.0])
+        b = np.array([1.0, 0.0, 0.9, 0.0])
+        assert topk_precision(a, b, 2) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            topk_precision(np.zeros(3), np.zeros(4), 2)
+        with pytest.raises(ValueError):
+            l1_error(np.zeros(3), np.zeros(4))
+
+    def test_paper_accuracy_claim_on_standin(self):
+        """Forward Push at eps=1e-6 hits 97%+ top-100 precision (Sec 4.2)."""
+        g = powerlaw_cluster(2000, 12, mixing=0.1, seed=9)
+        exact = power_iteration_ssppr(g, 0, alpha=PARAMS.alpha)
+        approx, _, _ = forward_push_parallel(g, 0, PARAMS)
+        assert topk_precision(approx, exact, 100) >= 0.97
+
+
+class TestPushProperties:
+    @given(
+        n=st.integers(10, 80),
+        deg=st.integers(2, 6),
+        seed=st.integers(0, 50),
+        alpha=st.floats(0.05, 0.95),
+        eps_exp=st.integers(3, 6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_mass_conservation_any_graph(self, n, deg, seed, alpha, eps_exp):
+        g = erdos_renyi(n, deg, seed=seed)
+        params = PPRParams(alpha=alpha, epsilon=10.0 ** (-eps_exp))
+        source = seed % n
+        ppr, residual, _ = forward_push_parallel(g, source, params)
+        assert ppr.sum() + residual.sum() == pytest.approx(1.0)
+        assert np.all(ppr >= 0) and np.all(residual >= -1e-15)
+
+    @given(n=st.integers(10, 60), seed=st.integers(0, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_approximation_bound(self, n, seed):
+        """|pi_hat - pi| <= eps * sum(d_w), the forward push guarantee."""
+        g = erdos_renyi(n, 4, seed=seed)
+        params = PPRParams(alpha=0.3, epsilon=1e-5)
+        source = seed % n
+        approx, _, _ = forward_push_parallel(g, source, params)
+        exact = power_iteration_ssppr(g, source, alpha=0.3)
+        assert l1_error(approx, exact) <= params.epsilon * g.weighted_degrees.sum() + 1e-9

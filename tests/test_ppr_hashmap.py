@@ -1,0 +1,181 @@
+"""Tests for the vectorized sharded hash map."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ppr.hashmap import ShardedMap
+
+
+class TestBasics:
+    def test_insert_and_lookup(self):
+        m = ShardedMap()
+        keys = np.array([5, 17, 123456789], dtype=np.int64)
+        idx, new = m.get_or_insert(keys)
+        assert new.all()
+        # dense indices are a permutation of 0..n-1 (batch-internal order
+        # is unspecified)
+        assert sorted(idx.tolist()) == [0, 1, 2]
+        np.testing.assert_array_equal(m.lookup(keys), idx)
+        assert len(m) == 3
+
+    def test_reinsert_returns_same_indices(self):
+        m = ShardedMap()
+        keys = np.array([1, 2, 3], dtype=np.int64)
+        idx1, _ = m.get_or_insert(keys)
+        idx2, new2 = m.get_or_insert(keys)
+        np.testing.assert_array_equal(idx1, idx2)
+        assert not new2.any()
+        assert len(m) == 3
+
+    def test_partial_overlap(self):
+        m = ShardedMap()
+        first, _ = m.get_or_insert(np.array([10, 20], dtype=np.int64))
+        idx, new = m.get_or_insert(np.array([20, 30], dtype=np.int64))
+        np.testing.assert_array_equal(new, [False, True])
+        assert idx[0] == first[1]  # 20 keeps its dense slot
+        assert idx[1] == 2  # newcomer gets the next dense index
+
+    def test_lookup_missing(self):
+        m = ShardedMap()
+        m.get_or_insert(np.array([7], dtype=np.int64))
+        out = m.lookup(np.array([7, 8, 9], dtype=np.int64))
+        np.testing.assert_array_equal(out, [0, -1, -1])
+
+    def test_lookup_empty_map(self):
+        m = ShardedMap()
+        out = m.lookup(np.array([1, 2], dtype=np.int64))
+        np.testing.assert_array_equal(out, [-1, -1])
+
+    def test_lookup_duplicates_allowed(self):
+        m = ShardedMap()
+        m.get_or_insert(np.array([42], dtype=np.int64))
+        out = m.lookup(np.array([42, 42, 42], dtype=np.int64))
+        np.testing.assert_array_equal(out, [0, 0, 0])
+
+    def test_empty_calls(self):
+        m = ShardedMap()
+        idx, new = m.get_or_insert(np.empty(0, dtype=np.int64))
+        assert len(idx) == 0 and len(new) == 0
+        assert len(m.lookup(np.empty(0, dtype=np.int64))) == 0
+
+    def test_keys_batch_ordering(self):
+        """Dense order follows batch order; within a batch it's unspecified."""
+        m = ShardedMap()
+        m.get_or_insert(np.array([100, 50], dtype=np.int64))
+        m.get_or_insert(np.array([75], dtype=np.int64))
+        assert set(m.keys()[:2].tolist()) == {100, 50}
+        assert m.keys()[2] == 75
+
+    def test_duplicate_keys_in_one_insert(self):
+        m = ShardedMap()
+        keys = np.array([7, 9, 7, 7, 9, 11], dtype=np.int64)
+        idx, new = m.get_or_insert(keys)
+        assert len(m) == 3
+        assert new.all()  # every occurrence of a first-seen key is "new"
+        # duplicates resolve to the same dense index
+        assert idx[0] == idx[2] == idx[3]
+        assert idx[1] == idx[4]
+        assert idx[5] not in (idx[0], idx[1])
+        # re-insert: nothing new
+        idx2, new2 = m.get_or_insert(keys)
+        np.testing.assert_array_equal(idx, idx2)
+        assert not new2.any()
+
+    def test_negative_keys_rejected(self):
+        m = ShardedMap()
+        with pytest.raises(ValueError, match="non-negative"):
+            m.get_or_insert(np.array([-1], dtype=np.int64))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError, match="power of two"):
+            ShardedMap(n_submaps=3)
+        with pytest.raises(ValueError):
+            ShardedMap(initial_submap_capacity=2)
+        with pytest.raises(ValueError):
+            ShardedMap(max_load=0.99)
+
+
+class TestGrowth:
+    def test_grows_past_initial_capacity(self):
+        m = ShardedMap(initial_submap_capacity=4, n_submaps=2)
+        keys = np.arange(1000, dtype=np.int64) * 7 + 3
+        idx, new = m.get_or_insert(keys)
+        assert new.all()
+        assert m.rehashes > 0
+        np.testing.assert_array_equal(m.lookup(keys), idx)
+
+    def test_dense_indices_stable_across_growth(self):
+        m = ShardedMap(initial_submap_capacity=4, n_submaps=2)
+        first = np.array([11, 22, 33], dtype=np.int64)
+        idx1, _ = m.get_or_insert(first)
+        m.get_or_insert(np.arange(500, dtype=np.int64) + 1000)
+        np.testing.assert_array_equal(m.lookup(first), idx1)
+
+    def test_incremental_inserts(self):
+        m = ShardedMap(initial_submap_capacity=4, n_submaps=4)
+        all_keys = []
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            batch = np.unique(rng.integers(0, 10**12, size=40))
+            m.get_or_insert(batch)
+            all_keys.append(batch)
+        union = np.unique(np.concatenate(all_keys))
+        assert len(m) == len(union)
+        assert np.all(m.lookup(union) >= 0)
+
+
+class TestSubmaps:
+    def test_submap_assignment_spread(self):
+        m = ShardedMap(n_submaps=16)
+        keys = np.arange(10_000, dtype=np.int64)
+        subs = m.submap_of(keys)
+        counts = np.bincount(subs, minlength=16)
+        assert counts.min() > 0.5 * counts.mean()
+        assert counts.max() < 2.0 * counts.mean()
+
+    def test_submap_sizes_sum_to_len(self):
+        m = ShardedMap(n_submaps=8)
+        m.get_or_insert(np.arange(300, dtype=np.int64))
+        assert m.submap_sizes().sum() == len(m)
+
+
+class TestProperties:
+    @given(st.lists(st.integers(0, 2**40), min_size=0, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_behaves_like_dict(self, raw_keys):
+        """The map agrees with a reference Python dict on any key sequence."""
+        m = ShardedMap(initial_submap_capacity=4, n_submaps=4)
+        reference = {}
+        keys = np.unique(np.array(raw_keys, dtype=np.int64))
+        mid = len(keys) // 2
+        for batch in (keys[:mid], keys[mid:], keys):
+            if len(batch) == 0:
+                continue
+            idx, new = m.get_or_insert(batch)
+            for k, i, isnew in zip(batch.tolist(), idx.tolist(),
+                                   new.tolist()):
+                if k in reference:
+                    assert not isnew
+                    assert reference[k] == i
+                else:
+                    assert isnew
+                    reference[k] = i
+        assert len(m) == len(reference)
+        if len(keys):
+            looked = m.lookup(keys)
+            for k, i in zip(keys.tolist(), looked.tolist()):
+                assert reference.get(k, -1) == i
+
+    @given(st.integers(1, 2000), st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_bulk_roundtrip(self, n, seed):
+        rng = np.random.default_rng(seed)
+        keys = np.unique(rng.integers(0, 2**50, size=n))
+        m = ShardedMap(initial_submap_capacity=8, n_submaps=8)
+        idx, _ = m.get_or_insert(keys)
+        # dense indices are a permutation of range(len)
+        assert sorted(idx.tolist()) == list(range(len(keys)))
+        np.testing.assert_array_equal(m.lookup(keys), idx)
+        np.testing.assert_array_equal(np.sort(m.keys()), keys)

@@ -1,0 +1,210 @@
+"""Tests for the hashmap-backed SSPPR operators (pop/push) and the dense
+tensor-based state, against single-machine references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import erdos_renyi, powerlaw_cluster
+from repro.partition import HashPartitioner, MetisLitePartitioner
+from repro.ppr import PPRParams, SSPPR, forward_push_parallel
+from repro.ppr.ppr_ops import pack_keys, unpack_keys
+from repro.ppr.tensor_ops import DenseSSPPR
+from repro.storage import build_shards
+
+PARAMS = PPRParams()
+
+
+def run_hashmap_query(sharded, source_global, params=PARAMS):
+    """Drive SSPPR to completion directly against shards (no RPC layer)."""
+    lid, sid = sharded.address_of([source_global])
+    shard = sharded.shards[sid[0]]
+    wdeg = shard.source_weighted_degrees(lid)[0]
+    m = SSPPR(int(lid[0]), int(sid[0]), params, float(wdeg),
+              sharded.n_shards)
+    while True:
+        node_ids, shard_ids = m.pop()
+        if len(node_ids) == 0:
+            return m
+        for j in range(sharded.n_shards):
+            mask = shard_ids == j
+            if not mask.any():
+                continue
+            infos = sharded.shards[j].get_neighbor_batch(node_ids[mask])
+            m.push(infos, node_ids[mask], shard_ids[mask])
+
+
+def run_dense_query(sharded, source_global, params=PARAMS):
+    """Drive the tensor baseline to completion directly against shards."""
+    n = sharded.graph.n_nodes
+    m = DenseSSPPR(source_global, params, n, sharded.owner_local,
+                   sharded.owner_shard)
+    lid, sid = sharded.address_of([source_global])
+    m.seed_source_degree(
+        sharded.shards[sid[0]].source_weighted_degrees(lid)[0]
+    )
+    while True:
+        gids, node_ids, shard_ids = m.pop()
+        if len(gids) == 0:
+            return m
+        for j in range(sharded.n_shards):
+            mask = shard_ids == j
+            if not mask.any():
+                continue
+            infos = sharded.shards[j].get_neighbor_batch(node_ids[mask])
+            m.push(infos, gids[mask])
+
+
+class TestKeys:
+    def test_pack_unpack_roundtrip(self):
+        local = np.array([0, 5, 123456], dtype=np.int64)
+        shard = np.array([0, 3, 7], dtype=np.int64)
+        keys = pack_keys(local, shard, 8)
+        l2, s2 = unpack_keys(keys, 8)
+        np.testing.assert_array_equal(l2, local)
+        np.testing.assert_array_equal(s2, shard)
+
+
+class TestSSPPRState:
+    def test_init_queues_source(self):
+        m = SSPPR(3, 1, PARAMS, 2.5, n_shards=4)
+        node_ids, shard_ids = m.pop()
+        np.testing.assert_array_equal(node_ids, [3])
+        np.testing.assert_array_equal(shard_ids, [1])
+        # second pop is empty
+        n2, _ = m.pop()
+        assert len(n2) == 0
+
+    def test_invalid_init(self):
+        with pytest.raises(ValueError):
+            SSPPR(0, 0, PARAMS, 1.0, n_shards=0)
+        with pytest.raises(ValueError):
+            SSPPR(0, 0, PARAMS, -1.0, n_shards=1)
+
+    def test_push_unknown_source_rejected(self):
+        g = powerlaw_cluster(50, 4, seed=0)
+        sharded = build_shards(g, HashPartitioner().partition(g, 2))
+        m = SSPPR(0, 0, PARAMS, 1.0, n_shards=2)
+        infos = sharded.shards[1].get_neighbor_batch(np.array([0]))
+        with pytest.raises(ValueError, match="never touched"):
+            m.push(infos, np.array([0]), np.array([1]))
+
+    def test_push_length_mismatch_rejected(self):
+        g = powerlaw_cluster(50, 4, seed=0)
+        sharded = build_shards(g, HashPartitioner().partition(g, 1))
+        m = SSPPR(0, 0, PARAMS, 1.0, n_shards=1)
+        infos = sharded.shards[0].get_neighbor_batch(np.array([0, 1]))
+        with pytest.raises(ValueError, match="sources"):
+            m.push(infos, np.array([0]), np.array([0]))
+
+    def test_matches_single_machine_reference(self):
+        g = powerlaw_cluster(400, 8, mixing=0.2, seed=1)
+        sharded = build_shards(g, MetisLitePartitioner(seed=0).partition(g, 3))
+        for source in (0, 17, 250):
+            m = run_hashmap_query(sharded, source)
+            approx = m.dense_result(sharded, g.n_nodes)
+            ref, _, _ = forward_push_parallel(g, source, PARAMS)
+            bound = 2 * PARAMS.epsilon * g.weighted_degrees.sum()
+            assert np.abs(approx - ref).sum() <= bound
+            assert m.total_mass() == pytest.approx(1.0)
+
+    def test_chunked_pushes_stay_within_epsilon_bound(self):
+        """Splitting an iteration's frontier into per-shard chunks changes
+        intermediate residual consumption (a node pushed in chunk A may
+        receive more mass from chunk B within the same iteration), but both
+        schedules remain valid epsilon-approximations — the guarantee the
+        overlap optimization relies on."""
+        g = powerlaw_cluster(300, 6, mixing=0.2, seed=2)
+        sharded4 = build_shards(g, HashPartitioner().partition(g, 4))
+        sharded1 = build_shards(g, HashPartitioner().partition(g, 1))
+        ma = run_hashmap_query(sharded4, 11)
+        mb = run_hashmap_query(sharded1, 11)
+        a = ma.dense_result(sharded4, g.n_nodes)
+        b = mb.dense_result(sharded1, g.n_nodes)
+        bound = 2 * PARAMS.epsilon * g.weighted_degrees.sum()
+        assert np.abs(a - b).sum() <= bound
+        assert ma.total_mass() == pytest.approx(1.0)
+        assert mb.total_mass() == pytest.approx(1.0)
+
+    def test_isolated_source(self):
+        from repro.graph import CSRGraph
+        from repro.partition import PartitionResult
+        g = CSRGraph.from_edges(3, [0], [1])
+        sharded = build_shards(g, PartitionResult(np.zeros(3, dtype=int), 1))
+        m = run_hashmap_query(sharded, 2)
+        dense = m.dense_result(sharded, 3)
+        assert dense[2] == pytest.approx(1.0)
+
+    def test_results_only_positive(self):
+        g = powerlaw_cluster(200, 5, seed=3)
+        sharded = build_shards(g, HashPartitioner().partition(g, 2))
+        m = run_hashmap_query(sharded, 0)
+        _keys, values = m.results()
+        assert np.all(values > 0)
+
+    def test_counters_populated(self):
+        g = powerlaw_cluster(200, 5, seed=4)
+        sharded = build_shards(g, HashPartitioner().partition(g, 2))
+        m = run_hashmap_query(sharded, 0)
+        assert m.n_pushes > 0
+        assert m.n_iterations > 0
+        assert m.n_entries_processed >= m.n_pushes
+        assert m.frontier_size() == 0  # drained
+
+
+class TestDenseState:
+    def test_matches_hashmap_engine(self):
+        g = powerlaw_cluster(400, 8, mixing=0.2, seed=5)
+        sharded = build_shards(g, MetisLitePartitioner(seed=0).partition(g, 3))
+        for source in (3, 99):
+            a = run_hashmap_query(sharded, source).dense_result(
+                sharded, g.n_nodes
+            )
+            b = run_dense_query(sharded, source).dense_result()
+            bound = 2 * PARAMS.epsilon * g.weighted_degrees.sum()
+            assert np.abs(a - b).sum() <= bound
+
+    def test_mass_conservation(self):
+        g = powerlaw_cluster(300, 6, seed=6)
+        sharded = build_shards(g, HashPartitioner().partition(g, 2))
+        m = run_dense_query(sharded, 5)
+        assert m.total_mass() == pytest.approx(1.0)
+
+    def test_invalid_init(self):
+        with pytest.raises(ValueError):
+            DenseSSPPR(10, PARAMS, 5, np.zeros(5, dtype=int),
+                       np.zeros(5, dtype=int))
+        with pytest.raises(ValueError):
+            DenseSSPPR(0, PARAMS, 5, np.zeros(3, dtype=int),
+                       np.zeros(5, dtype=int))
+
+    def test_push_length_mismatch(self):
+        g = powerlaw_cluster(50, 4, seed=7)
+        sharded = build_shards(g, HashPartitioner().partition(g, 1))
+        m = DenseSSPPR(0, PARAMS, 50, sharded.owner_local,
+                       sharded.owner_shard)
+        infos = sharded.shards[0].get_neighbor_batch(np.array([0, 1]))
+        with pytest.raises(ValueError, match="sources"):
+            m.push(infos, np.array([0]))
+
+
+class TestEngineEquivalenceProperties:
+    @given(
+        n=st.integers(30, 150),
+        k=st.integers(1, 4),
+        seed=st.integers(0, 20),
+        eps_exp=st.sampled_from([4, 5]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_hashmap_equals_reference_any_graph(self, n, k, seed, eps_exp):
+        g = erdos_renyi(n, 5, seed=seed)
+        params = PPRParams(epsilon=10.0 ** (-eps_exp))
+        sharded = build_shards(g, HashPartitioner().partition(g, k))
+        source = seed % n
+        m = run_hashmap_query(sharded, source, params)
+        approx = m.dense_result(sharded, n)
+        ref, _, _ = forward_push_parallel(g, source, params)
+        bound = 2 * params.epsilon * g.weighted_degrees.sum() + 1e-12
+        assert np.abs(approx - ref).sum() <= bound
+        assert m.total_mass() == pytest.approx(1.0)

@@ -1,0 +1,245 @@
+"""Tests for GraphShard / VertexProp / NeighborBatch / ShardedGraph."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShardError
+from repro.graph import CSRGraph, erdos_renyi, powerlaw_cluster
+from repro.partition import HashPartitioner, MetisLitePartitioner, PartitionResult
+from repro.storage import build_shards
+
+
+def figure2_graph():
+    """The paper's Figure 2 example: 5 nodes, 2 shards.
+
+    Shard 0 cores: globals {0, 1, 2}; shard 1 cores: globals {3, 4}.
+    Edges (undirected, weighted): 0-1 (1), 0-2 (2), 1-2 (1), 2-3 (3),
+    1-3 (1), 3-4 (2).
+    """
+    g = CSRGraph.from_edges(
+        5,
+        [0, 0, 1, 2, 1, 3],
+        [1, 2, 2, 3, 3, 4],
+        [1.0, 2.0, 1.0, 3.0, 1.0, 2.0],
+    )
+    assignment = np.array([0, 0, 0, 1, 1])
+    return g, PartitionResult(assignment, 2)
+
+
+class TestBuildShards:
+    def test_core_nodes_partitioned(self):
+        g, res = figure2_graph()
+        sg = build_shards(g, res)
+        np.testing.assert_array_equal(sg.shards[0].core_global, [0, 1, 2])
+        np.testing.assert_array_equal(sg.shards[1].core_global, [3, 4])
+
+    def test_local_ids_are_ranks(self):
+        g, res = figure2_graph()
+        sg = build_shards(g, res)
+        local, shard = sg.address_of([0, 1, 2, 3, 4])
+        np.testing.assert_array_equal(local, [0, 1, 2, 0, 1])
+        np.testing.assert_array_equal(shard, [0, 0, 0, 1, 1])
+
+    def test_halo_nodes(self):
+        g, res = figure2_graph()
+        sg = build_shards(g, res)
+        # Shard 0's halo: global 3 (reached from nodes 1 and 2).
+        np.testing.assert_array_equal(sg.shards[0].halo_globals(), [3])
+        # Shard 1's halo: globals 1 and 2.
+        np.testing.assert_array_equal(sg.shards[1].halo_globals(), [1, 2])
+
+    def test_neighbor_arrays_reference_owner_addresses(self):
+        g, res = figure2_graph()
+        sg = build_shards(g, res)
+        s0 = sg.shards[0]
+        # Core node global 2 (local 2): neighbors are 0, 1 (local) and 3
+        # (halo, owned by shard 1 where its local ID is 0).
+        s, e = s0.indptr[2], s0.indptr[3]
+        np.testing.assert_array_equal(s0.nbr_global[s:e], [0, 1, 3])
+        np.testing.assert_array_equal(s0.nbr_shard[s:e], [0, 0, 1])
+        np.testing.assert_array_equal(s0.nbr_local[s:e], [0, 1, 0])
+
+    def test_weighted_degrees_cached_for_halos(self):
+        g, res = figure2_graph()
+        sg = build_shards(g, res)
+        s0 = sg.shards[0]
+        s, e = s0.indptr[2], s0.indptr[3]
+        # global 3 weighted degree = 3 + 1 + 2 = 6
+        assert s0.nbr_wdeg[s:e][2] == pytest.approx(6.0)
+
+    def test_core_wdeg_matches_graph(self):
+        g, res = figure2_graph()
+        sg = build_shards(g, res)
+        for shard in sg.shards:
+            np.testing.assert_allclose(
+                shard.core_wdeg, g.weighted_degrees[shard.core_global]
+            )
+
+    def test_shards_cover_all_arcs(self):
+        g = powerlaw_cluster(400, 8, seed=0)
+        res = HashPartitioner().partition(g, 3)
+        sg = build_shards(g, res)
+        assert sum(s.n_entries for s in sg.shards) == g.n_arcs
+
+    def test_size_mismatch_rejected(self):
+        g, _ = figure2_graph()
+        with pytest.raises(ShardError, match="covers"):
+            build_shards(g, PartitionResult(np.zeros(3, dtype=int), 1))
+
+    def test_memory_multiplier_about_1_5x(self):
+        """Paper: preprocessed shards cost ~1.5x the raw weighted CSR."""
+        g = powerlaw_cluster(2000, 10, seed=1)
+        raw = g.indices.nbytes + g.weights.nbytes + g.indptr.nbytes
+        sg = build_shards(g, HashPartitioner().partition(g, 4))
+        ratio = sg.total_memory_nbytes() / raw
+        # we store global IDs too (walk support), so a bit above 1.5x
+        assert 1.2 < ratio < 3.0
+
+    def test_describe(self):
+        g, res = figure2_graph()
+        sg = build_shards(g, res)
+        d = sg.describe()
+        assert d[0]["n_core"] == 3
+        assert d[0]["n_halo"] == 1
+
+
+class TestAddressTranslation:
+    def test_roundtrip(self):
+        g = powerlaw_cluster(300, 6, seed=2)
+        sg = build_shards(g, MetisLitePartitioner(seed=0).partition(g, 3))
+        gids = np.arange(300)
+        local, shard = sg.address_of(gids)
+        np.testing.assert_array_equal(sg.global_of(local, shard), gids)
+
+    def test_keys_roundtrip(self):
+        g = powerlaw_cluster(200, 6, seed=3)
+        sg = build_shards(g, HashPartitioner().partition(g, 4))
+        gids = np.array([0, 5, 17, 199])
+        np.testing.assert_array_equal(
+            sg.globals_from_keys(sg.keys_of(gids)), gids
+        )
+
+    def test_out_of_range(self):
+        g, res = figure2_graph()
+        sg = build_shards(g, res)
+        with pytest.raises(ShardError):
+            sg.address_of([99])
+        with pytest.raises(ShardError):
+            sg.global_of([0], [9])
+        with pytest.raises(ShardError):
+            sg.global_of([99], [0])
+
+
+class TestShardFetch:
+    @pytest.fixture()
+    def sharded(self):
+        g, res = figure2_graph()
+        return build_shards(g, res, seed=42)
+
+    def test_vertex_props_zero_copy(self, sharded):
+        s0 = sharded.shards[0]
+        prop = s0.get_vertex_props(np.array([1, 2]))
+        assert prop.n_sources == 2
+        local, shard, glob, w, wdeg = prop.neighbors(0)
+        # node global 1: neighbors 0, 2, 3
+        np.testing.assert_array_equal(glob, [0, 2, 3])
+        # views share memory with the shard
+        assert glob.base is s0.nbr_global or glob is s0.nbr_global
+
+    def test_vertex_prop_to_arrays_matches_batch(self, sharded):
+        s0 = sharded.shards[0]
+        ids = np.array([0, 2])
+        prop_arrays = s0.get_vertex_props(ids).to_arrays()
+        batch_arrays = s0.get_neighbor_batch(ids).to_arrays()
+        for a, b in zip(prop_arrays, batch_arrays):
+            np.testing.assert_array_equal(a, b)
+
+    def test_neighbor_lists_matches_batch(self, sharded):
+        s0 = sharded.shards[0]
+        ids = np.array([0, 1, 2])
+        lists_arrays = s0.get_neighbor_lists(ids).to_arrays()
+        batch_arrays = s0.get_neighbor_batch(ids).to_arrays()
+        for a, b in zip(lists_arrays, batch_arrays):
+            np.testing.assert_array_equal(a, b)
+
+    def test_single(self, sharded):
+        s1 = sharded.shards[1]
+        resp = s1.get_single(0)  # global 3: neighbors 1, 2, 4
+        indptr, local, shard, glob, w, wdeg, src_wdeg = resp.to_arrays()
+        np.testing.assert_array_equal(glob, [1, 2, 4])
+        assert src_wdeg[0] == pytest.approx(6.0)
+
+    def test_out_of_range_ids_rejected(self, sharded):
+        with pytest.raises(ShardError, match="out of range"):
+            sharded.shards[0].get_vertex_props(np.array([7]))
+        with pytest.raises(ShardError, match="out of range"):
+            sharded.shards[0].get_neighbor_batch(np.array([-1]))
+
+    def test_compressed_payload_constant_tensors(self, sharded):
+        s0 = sharded.shards[0]
+        small = s0.get_neighbor_batch(np.array([0]))
+        big = s0.get_neighbor_batch(np.array([0, 1, 2]))
+        assert small.rpc_payload()[1] == big.rpc_payload()[1] == 7
+
+    def test_uncompressed_payload_grows_with_batch(self, sharded):
+        s0 = sharded.shards[0]
+        small = s0.get_neighbor_lists(np.array([0]))
+        big = s0.get_neighbor_lists(np.array([0, 1, 2]))
+        assert small.rpc_payload()[1] == 6   # 5 tensors + src_wdeg
+        assert big.rpc_payload()[1] == 16    # 15 tensors + src_wdeg
+
+    def test_empty_request(self, sharded):
+        s0 = sharded.shards[0]
+        batch = s0.get_neighbor_batch(np.array([], dtype=np.int64))
+        assert batch.n_sources == 0
+        assert batch.n_entries == 0
+
+    def test_sample_one_neighbor_valid(self, sharded):
+        s0 = sharded.shards[0]
+        for _ in range(10):
+            nl, ng, ns = s0.sample_one_neighbor(np.array([1]))
+            # node global 1's neighbors: 0, 2 (shard 0), 3 (shard 1)
+            assert ng[0] in (0, 2, 3)
+            expected_shard = 1 if ng[0] == 3 else 0
+            assert ns[0] == expected_shard
+
+    def test_sample_isolated_node_stays(self):
+        g = CSRGraph.from_edges(3, [0], [1])  # node 2 isolated
+        sg = build_shards(g, PartitionResult(np.zeros(3, dtype=int), 1), seed=0)
+        nl, ng, ns = sg.shards[0].sample_one_neighbor(np.array([2]))
+        assert ng[0] == 2 and ns[0] == 0
+
+
+class TestShardProperties:
+    @given(n=st.integers(20, 120), k=st.integers(1, 4), seed=st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_shard_reconstruction_equals_graph(self, n, k, seed):
+        """Concatenating all shards' rows reproduces the original graph."""
+        g = erdos_renyi(n, 5, seed=seed)
+        sg = build_shards(g, HashPartitioner().partition(g, k))
+        seen_arcs = 0
+        for shard in sg.shards:
+            for i, gid in enumerate(shard.core_global):
+                s, e = shard.indptr[i], shard.indptr[i + 1]
+                np.testing.assert_array_equal(
+                    shard.nbr_global[s:e], g.neighbors(gid)
+                )
+                np.testing.assert_allclose(
+                    shard.nbr_weight[s:e], g.neighbor_weights(gid)
+                )
+                seen_arcs += e - s
+        assert seen_arcs == g.n_arcs
+
+    @given(n=st.integers(20, 120), k=st.integers(2, 4), seed=st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_halo_addressing_consistent(self, n, k, seed):
+        """Every neighbor entry's (local, shard) resolves to its global ID."""
+        g = erdos_renyi(n, 5, seed=seed)
+        sg = build_shards(g, HashPartitioner().partition(g, k))
+        for shard in sg.shards:
+            if shard.n_entries == 0:
+                continue
+            resolved = sg.global_of(shard.nbr_local, shard.nbr_shard)
+            np.testing.assert_array_equal(resolved, shard.nbr_global)

@@ -1,0 +1,101 @@
+"""Unit tests for repro.utils.validation and repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import rng_from_seed, spawn_rngs
+from repro.utils.validation import (
+    check_dtype,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_same_length,
+    ensure_int_array,
+)
+
+
+class TestChecks:
+    def test_check_positive_accepts(self):
+        check_positive("x", 1e-9)
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0)
+
+    def test_check_nonnegative(self):
+        check_nonnegative("x", 0)
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -1)
+
+    def test_check_in_range_exclusive(self):
+        check_in_range("alpha", 0.5, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            check_in_range("alpha", 0.0, 0.0, 1.0)
+
+    def test_check_in_range_inclusive(self):
+        check_in_range("p", 1.0, 0.0, 1.0, inclusive=True)
+
+    def test_check_same_length(self):
+        check_same_length(a=[1, 2], b=np.array([3, 4]))
+        with pytest.raises(ValueError, match="length mismatch"):
+            check_same_length(a=[1], b=[1, 2])
+
+    def test_check_dtype(self):
+        check_dtype("ids", np.array([1, 2]), "iu")
+        with pytest.raises(TypeError):
+            check_dtype("ids", np.array([1.5]), "iu")
+
+
+class TestEnsureIntArray:
+    def test_list_input(self):
+        out = ensure_int_array([1, 2, 3])
+        assert out.dtype == np.int64
+        np.testing.assert_array_equal(out, [1, 2, 3])
+
+    def test_scalar_promoted(self):
+        out = ensure_int_array(5)
+        np.testing.assert_array_equal(out, [5])
+
+    def test_integral_floats_accepted(self):
+        out = ensure_int_array(np.array([1.0, 2.0]))
+        assert out.dtype == np.int64
+
+    def test_fractional_floats_rejected(self):
+        with pytest.raises(TypeError, match="non-integral"):
+            ensure_int_array(np.array([1.5]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            ensure_int_array(np.zeros((2, 2), dtype=np.int64))
+
+    def test_empty_ok(self):
+        assert ensure_int_array([]).shape == (0,)
+
+    def test_custom_dtype(self):
+        assert ensure_int_array([1], dtype=np.int32).dtype == np.int32
+
+
+class TestRng:
+    def test_seed_reproducible(self):
+        a = rng_from_seed(42).integers(0, 100, 10)
+        b = rng_from_seed(42).integers(0, 100, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert rng_from_seed(g) is g
+
+    def test_spawn_rngs_independent(self):
+        streams = spawn_rngs(7, 3)
+        assert len(streams) == 3
+        draws = [g.integers(0, 2**32) for g in streams]
+        assert len(set(draws)) == 3  # overwhelmingly likely distinct
+
+    def test_spawn_rngs_reproducible(self):
+        a = [g.integers(0, 2**32) for g in spawn_rngs(7, 3)]
+        b = [g.integers(0, 2**32) for g in spawn_rngs(7, 3)]
+        assert a == b
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
