@@ -1,0 +1,100 @@
+"""Chaos smoke benchmark — fault-injection overhead and resilience.
+
+Three runs of the same query batch:
+
+* ``clean``       — no fault plan; exercises the zero-overhead fast path
+  (an empty plan must cost nothing: same dispatch code as pre-fault
+  builds);
+* ``drop 5%``     — 5% message loss with retries; throughput dips but
+  every query completes exactly;
+* ``crash+skip``  — one storage server down for the whole run under
+  ``skip_remote`` degradation; the batch survives with bounded accuracy
+  loss instead of failing.
+
+Shape expectations: the clean run's counters are all zero; the lossy run
+retries (retries == dropped messages when every drop is retransmitted and
+eventually lands); the crashed run degrades some queries and writes off a
+small residual mass.
+"""
+
+from benchmarks.common import (
+    assert_shapes,
+    bench_scale,
+    engine_config,
+    get_sharded,
+    print_and_store,
+)
+from repro.engine import GraphEngine, RunRequest
+from repro.engine.query import sample_sources
+from repro.ppr import DegradationMode, PPRParams
+from repro.rpc import RetryPolicy
+from repro.simt import CrashWindow, FaultPlan
+
+CHAOS_PARAMS = PPRParams(alpha=0.462, epsilon=1e-5)
+N_MACHINES = 2
+
+
+def run_case(engine, sources, label: str, request: RunRequest) -> dict:
+    run = engine.run(request)
+    return {
+        "Case": label,
+        "q/s": round(run.throughput, 1),
+        "Total (s)": round(run.makespan, 4),
+        "Retries": run.retries,
+        "Timeouts": run.timeouts,
+        "Dropped": run.dropped_messages,
+        "Degraded": run.degraded_queries,
+        "Abandoned mass": round(run.abandoned_mass, 6),
+    }
+
+
+def test_chaos_smoke(benchmark):
+    scale = bench_scale()
+    sharded = get_sharded("friendster", N_MACHINES)
+    engine = GraphEngine(sharded.graph, engine_config(N_MACHINES),
+                         sharded=sharded)
+    sources = sample_sources(sharded, scale.queries_small, seed=13)
+    policy = RetryPolicy(max_attempts=6, timeout=0.05)
+    cases = (
+        ("clean", RunRequest(sources=sources, params=CHAOS_PARAMS)),
+        ("drop 5%", RunRequest(
+            sources=sources, params=CHAOS_PARAMS,
+            fault_plan=FaultPlan(seed=7, drop_prob=0.05),
+            retry_policy=policy,
+        )),
+        ("crash+skip", RunRequest(
+            sources=sources, params=CHAOS_PARAMS,
+            fault_plan=FaultPlan(seed=7, crashes=(
+                CrashWindow(server="server:1", crash_at=0.0),
+            )),
+            retry_policy=RetryPolicy(max_attempts=2, timeout=0.01),
+            degradation=DegradationMode.SKIP_REMOTE,
+        )),
+    )
+
+    def run_all():
+        return [run_case(engine, sources, label, req)
+                for label, req in cases]
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_and_store(
+        "chaos",
+        "Chaos smoke: fault injection on Friendster "
+        f"({N_MACHINES} machines, eps={CHAOS_PARAMS.epsilon:g})",
+        rows,
+    )
+    for row in rows:
+        benchmark.extra_info[row["Case"]] = (
+            f"qps={row['q/s']} retries={row['Retries']} "
+            f"degraded={row['Degraded']}"
+        )
+    by = {r["Case"]: r for r in rows}
+    if assert_shapes():
+        # An absent plan means zero fault-layer work.
+        assert by["clean"]["Retries"] == by["clean"]["Dropped"] == 0
+        # 5% loss: some retransmissions, every query still completes.
+        assert by["drop 5%"]["Retries"] > 0
+        assert by["drop 5%"]["Degraded"] == 0
+        # A dead server degrades queries instead of killing the batch.
+        assert by["crash+skip"]["Degraded"] > 0
+        assert by["crash+skip"]["Abandoned mass"] > 0

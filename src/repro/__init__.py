@@ -9,18 +9,36 @@ all on a deterministic virtual-time distributed runtime.
 
 Quick start::
 
-    from repro import EngineConfig, GraphEngine, load_dataset
+    from repro import EngineConfig, GraphEngine, RunRequest, load_dataset
 
     graph = load_dataset("products", scale=0.05)
     engine = GraphEngine(graph, EngineConfig(n_machines=4))
-    run = engine.run_queries(n_queries=16, keep_states=True)
+    run = engine.run(RunRequest(n_queries=16, keep_states=True))
     print(f"{run.throughput:.1f} SSPPR queries/s (virtual)")
+
+Chaos testing — inject deterministic faults and keep serving::
+
+    from repro import DegradationMode, FaultPlan, RunRequest
+
+    run = engine.run(RunRequest(
+        n_queries=16,
+        fault_plan=FaultPlan(seed=7, drop_prob=0.05),
+        degradation=DegradationMode.SKIP_REMOTE,
+    ))
+    print(run.retries, run.timeouts, run.degraded_queries)
 
 See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
 paper-vs-measured record of every table and figure.
 """
 
-from repro.engine import EngineConfig, GraphEngine, QueryRunResult
+from repro.engine import EngineConfig, GraphEngine, QueryRunResult, RunRequest
+from repro.errors import (
+    ReproError,
+    RpcError,
+    RpcTimeoutError,
+    SimulationError,
+    WorkerCrashedError,
+)
 from repro.graph import CSRGraph, DATASETS, load_dataset
 from repro.partition import (
     BfsPartitioner,
@@ -29,6 +47,7 @@ from repro.partition import (
     RandomPartitioner,
 )
 from repro.ppr import (
+    DegradationMode,
     OptLevel,
     PPRParams,
     SSPPR,
@@ -37,6 +56,8 @@ from repro.ppr import (
     power_iteration_ssppr,
     topk_precision,
 )
+from repro.rpc import RetryPolicy
+from repro.simt import CrashWindow, FaultPlan
 from repro.storage import DistGraphStorage, GraphShard, ShardedGraph, build_shards
 
 __version__ = "1.0.0"
@@ -44,9 +65,12 @@ __version__ = "1.0.0"
 __all__ = [
     "BfsPartitioner",
     "CSRGraph",
+    "CrashWindow",
     "DATASETS",
+    "DegradationMode",
     "DistGraphStorage",
     "EngineConfig",
+    "FaultPlan",
     "GraphEngine",
     "GraphShard",
     "HashPartitioner",
@@ -55,8 +79,15 @@ __all__ = [
     "PPRParams",
     "QueryRunResult",
     "RandomPartitioner",
+    "ReproError",
+    "RetryPolicy",
+    "RpcError",
+    "RpcTimeoutError",
+    "RunRequest",
     "SSPPR",
     "ShardedGraph",
+    "SimulationError",
+    "WorkerCrashedError",
     "__version__",
     "build_shards",
     "forward_push_parallel",

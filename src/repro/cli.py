@@ -6,7 +6,8 @@ Downstream-friendly entry points for the preprocessing / query pipeline:
 * ``partition``  — partition a graph and persist the sharded result;
 * ``query``      — run an SSPPR batch against a graph or saved shards;
 * ``walk``       — run distributed random walks;
-* ``bench``      — a one-shot engine-vs-baselines comparison.
+* ``bench``      — a one-shot engine-vs-baselines comparison;
+* ``chaos``      — a clean-vs-faulty run under an injected fault plan.
 
 Graphs are referenced either by stand-in dataset name
 (``products|twitter|friendster|papers``, with ``--scale``) or by a ``.npz``
@@ -22,12 +23,14 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.engine import EngineConfig, GraphEngine
+from repro.engine import EngineConfig, GraphEngine, RunRequest
 from repro.graph import load_dataset, load_npz
 from repro.graph.datasets import DATASETS
 from repro.graph.stats import compute_stats, format_table
 from repro.partition import MetisLitePartitioner
-from repro.ppr import PPRParams
+from repro.ppr import DegradationMode, PPRParams
+from repro.rpc import RetryPolicy
+from repro.simt import CrashWindow, FaultPlan
 from repro.storage.persist import load_sharded, save_sharded
 
 
@@ -94,11 +97,11 @@ def _engine_from_args(args) -> GraphEngine:
 def cmd_query(args) -> int:
     engine = _engine_from_args(args)
     params = PPRParams(alpha=args.alpha, epsilon=args.epsilon)
-    runner = (engine.run_queries_batched if args.batch_queries
-              else engine.run_queries)
-    kwargs = {} if args.batch_queries else {"keep_states": args.top > 0}
-    run = runner(n_queries=args.queries, params=params, seed=args.seed,
-                 **kwargs)
+    run = engine.run(RunRequest(
+        n_queries=args.queries, params=params, seed=args.seed,
+        mode="batched" if args.batch_queries else "engine",
+        keep_states=args.top > 0,
+    ))
     print(f"{run.n_queries} SSPPR queries: {run.throughput:.1f} q/s "
           f"(virtual), makespan {run.makespan * 1e3:.2f} ms")
     print(f"phases: " + ", ".join(
@@ -128,18 +131,59 @@ def cmd_walk(args) -> int:
 def cmd_bench(args) -> int:
     engine = _engine_from_args(args)
     params = PPRParams(alpha=args.alpha, epsilon=args.epsilon)
-    run_e = engine.run_queries(n_queries=args.queries, params=params,
-                               seed=args.seed, keep_states=True)
+    run_e = engine.run(RunRequest(n_queries=args.queries, params=params,
+                                  seed=args.seed, keep_states=True))
     sources = np.array(sorted(run_e.states))
-    run_t = engine.run_tensor_queries(sources=sources, params=params,
-                                      seed=args.seed)
-    run_b = engine.run_queries_batched(sources=sources, params=params,
-                                       seed=args.seed)
+    run_t = engine.run(RunRequest(sources=sources, params=params,
+                                  seed=args.seed, mode="tensor"))
+    run_b = engine.run(RunRequest(sources=sources, params=params,
+                                  seed=args.seed, mode="batched"))
     print(f"{'implementation':<24} {'q/s':>10} {'RPCs':>8}")
     for label, run in (("PPR Engine", run_e),
                        ("PPR Engine (multi-query)", run_b),
                        ("PyTorch-Tensor baseline", run_t)):
         print(f"{label:<24} {run.throughput:>10.1f} {run.remote_requests:>8}")
+    return 0
+
+
+def cmd_chaos(args) -> int:
+    """Clean vs faulty run of the same query batch (chaos smoke test)."""
+    engine = _engine_from_args(args)
+    params = PPRParams(alpha=args.alpha, epsilon=args.epsilon)
+    crashes = ()
+    if args.crash_machine >= engine.config.n_machines:
+        raise SystemExit(
+            f"error: --crash-machine {args.crash_machine} out of range "
+            f"(deployment has machines 0..{engine.config.n_machines - 1})"
+        )
+    if args.crash_machine >= 0:
+        crashes = (CrashWindow(
+            server=engine.config.server_name(args.crash_machine),
+            crash_at=args.crash_at, recover_at=args.recover_at,
+        ),)
+    plan = FaultPlan(seed=args.fault_seed, drop_prob=args.drop,
+                     crashes=crashes)
+    policy = RetryPolicy(max_attempts=args.max_attempts,
+                         timeout=args.timeout)
+    clean = engine.run(RunRequest(n_queries=args.queries, params=params,
+                                  seed=args.seed))
+    faulty = engine.run(RunRequest(
+        n_queries=args.queries, params=params, seed=args.seed,
+        fault_plan=plan, retry_policy=policy,
+        degradation=DegradationMode(args.degradation),
+    ))
+    print(f"{'run':<8} {'q/s':>10} {'retries':>8} {'timeouts':>9} "
+          f"{'dropped':>8} {'degraded':>9}")
+    for label, run in (("clean", clean), ("faulty", faulty)):
+        print(f"{label:<8} {run.throughput:>10.1f} {run.retries:>8} "
+              f"{run.timeouts:>9} {run.dropped_messages:>8} "
+              f"{run.degraded_queries:>9}")
+    if faulty.degraded_queries:
+        print(f"abandoned residual mass: {faulty.abandoned_mass:.6f} "
+              f"(bounds each query's L1 error)")
+    slowdown = (faulty.makespan / clean.makespan
+                if clean.makespan > 0 else float("inf"))
+    print(f"fault-induced slowdown: {slowdown:.2f}x")
     return 0
 
 
@@ -192,6 +236,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--alpha", type=float, default=0.462)
     p.add_argument("--epsilon", type=float, default=1e-6)
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser("chaos", help="clean vs faulty run, one shot")
+    add_engine_args(p)
+    p.add_argument("--queries", type=int, default=16)
+    p.add_argument("--alpha", type=float, default=0.462)
+    p.add_argument("--epsilon", type=float, default=1e-6)
+    p.add_argument("--fault-seed", type=int, default=7,
+                   help="fault plan seed (faults replay deterministically)")
+    p.add_argument("--drop", type=float, default=0.05,
+                   help="per-message drop probability")
+    p.add_argument("--crash-machine", type=int, default=-1,
+                   help="crash this machine's storage server (-1 = none)")
+    p.add_argument("--crash-at", type=float, default=0.0,
+                   help="virtual time the crash starts")
+    p.add_argument("--recover-at", type=float, default=float("inf"),
+                   help="virtual time the server recovers (inf = never)")
+    p.add_argument("--max-attempts", type=int, default=4)
+    p.add_argument("--timeout", type=float, default=0.05,
+                   help="per-attempt RPC timeout, virtual seconds")
+    p.add_argument("--degradation", default="skip_remote",
+                   choices=[m.value for m in DegradationMode],
+                   help="what a query does when retries are exhausted")
+    p.set_defaults(fn=cmd_chaos)
     return parser
 
 

@@ -7,7 +7,10 @@ Ties the substrates together into the system of Figure 1:
 * :class:`GraphEngine` — partition the input graph, build shards, and run
   batches of SSPPR queries / random walks / tensor-baseline queries on a
   simulated cluster, returning throughput, virtual makespan, and the
-  per-phase runtime breakdowns used by Figure 6 and Table 3.
+  per-phase runtime breakdowns used by Figure 6 and Table 3;
+* :class:`RunRequest` — one validated, frozen description of a batched
+  query run (query set, parameters, opt level, fault plan, retry policy,
+  degradation mode), passed to :meth:`GraphEngine.run`.
 
 The cluster layout matches the paper's simulation: ``K`` machines, each
 hosting one Graph Storage server process (its shard in shared memory) and
@@ -17,13 +20,17 @@ owning their source node (the owner-compute rule).
 
 from repro.engine.breakdown import PHASES, aggregate_breakdowns, phase_seconds
 from repro.engine.config import EngineConfig
-from repro.engine.engine import GraphEngine, QueryRunResult
+from repro.engine.engine import GraphEngine, QueryRunResult, WalkRunResult
+from repro.engine.request import RUN_MODES, RunRequest
 
 __all__ = [
     "EngineConfig",
     "GraphEngine",
     "PHASES",
     "QueryRunResult",
+    "RUN_MODES",
+    "RunRequest",
+    "WalkRunResult",
     "aggregate_breakdowns",
     "phase_seconds",
 ]

@@ -16,9 +16,17 @@ from repro.storage.build import ShardedGraph
 
 
 class SimCluster:
-    """A simulated K-machine deployment of one sharded graph."""
+    """A simulated K-machine deployment of one sharded graph.
 
-    def __init__(self, sharded: ShardedGraph, config: EngineConfig) -> None:
+    ``trace_rpc`` / ``fault_plan`` / ``retry_policy`` override the config's
+    deployment defaults for this cluster (one cluster is built per query
+    run, so these are per-run knobs carried by a
+    :class:`~repro.engine.request.RunRequest`).
+    """
+
+    def __init__(self, sharded: ShardedGraph, config: EngineConfig, *,
+                 trace_rpc: bool | None = None, fault_plan=None,
+                 retry_policy=None) -> None:
         if sharded.n_shards != config.n_shards:
             raise SimulationError(
                 f"graph has {sharded.n_shards} shards but config expects "
@@ -28,11 +36,15 @@ class SimCluster:
         self.config = config
         self.scheduler = Scheduler()
         tracer = None
-        if config.trace_rpc:
+        if config.trace_rpc if trace_rpc is None else trace_rpc:
             from repro.rpc.tracing import RpcTracer
 
             tracer = RpcTracer()
-        self.ctx = RpcContext(self.scheduler, config.network, tracer=tracer)
+        if retry_policy is None:
+            retry_policy = config.retry_policy
+        self.ctx = RpcContext(self.scheduler, config.network, tracer=tracer,
+                              fault_plan=fault_plan,
+                              retry_policy=retry_policy)
         self.rrefs: list[RRef] = []
         self._compute_names: list[str] = []
         self._bring_up()

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from repro.partition.base import Partitioner
 from repro.partition.metis_lite import MetisLitePartitioner
 from repro.ppr.distributed import OptLevel
+from repro.rpc.retry import RetryPolicy
 from repro.simt.network import NetworkModel
 from repro.utils.validation import check_positive
 
@@ -34,6 +35,10 @@ class EngineConfig:
     #: attach an RpcTracer to the cluster (per-call communication records,
     #: exposed on QueryRunResult.trace)
     trace_rpc: bool = False
+    #: deployment-wide timeout/retry/backoff default for remote calls;
+    #: ``None`` keeps the zero-overhead dispatch path.  Per-run overrides
+    #: travel on :class:`~repro.engine.request.RunRequest`.
+    retry_policy: RetryPolicy | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:

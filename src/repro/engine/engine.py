@@ -2,21 +2,28 @@
 
 Typical use::
 
-    from repro.engine import EngineConfig, GraphEngine
+    from repro.engine import EngineConfig, GraphEngine, RunRequest
     from repro.graph import load_dataset
 
     graph = load_dataset("products", scale=0.1)
     engine = GraphEngine(graph, EngineConfig(n_machines=4))
-    run = engine.run_queries(n_queries=64)
+    run = engine.run(RunRequest(n_queries=64))
     print(run.throughput, run.phases)
 
 ``GraphEngine`` partitions once (preprocessing, amortized across runs) and
 deploys a fresh simulated cluster per query batch so virtual clocks start
 at zero — matching the paper's repeated-run measurement protocol.
+
+:meth:`GraphEngine.run` takes a :class:`~repro.engine.request.RunRequest`
+bundling the query set, PPR parameters, optimization level, tracing, and
+the fault-tolerance knobs (``FaultPlan`` / ``RetryPolicy`` / degradation
+mode).  The older ``run_queries(...)`` keyword surface survives as a
+deprecated shim.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -26,10 +33,12 @@ from repro.engine.cluster import SimCluster
 from repro.engine.config import EngineConfig
 from repro.engine.query import (
     assign_queries,
+    multi_query_batched_driver,
     multi_query_driver,
     multi_query_tensor_driver,
     sample_sources,
 )
+from repro.engine.request import RunRequest
 from repro.graph.csr import CSRGraph
 from repro.ppr.params import PPRParams
 from repro.storage.build import ShardedGraph, build_shards
@@ -54,13 +63,28 @@ class QueryRunResult:
     trace: object = field(repr=False, default=None)
     #: per-query virtual latency keyed by source global ID (engine runs)
     latencies: dict[int, float] = field(repr=False, default_factory=dict)
+    #: fault-tolerance counters — all zero on a healthy run
+    retries: int = 0              # re-sent attempts (attempt > 1)
+    timeouts: int = 0             # attempts that hit their deadline
+    dropped_messages: int = 0     # requests lost on the injected network
+    degraded_queries: int = 0     # queries that abandoned >= 1 remote fetch
+    abandoned_mass: float = 0.0   # total residual written off by skip_remote
 
-    def latency_percentiles(self, q=(50, 90, 99)) -> dict[int, float]:
-        """Virtual per-query latency percentiles in seconds."""
+    def latency_percentiles(self, q=(50, 90, 99)) -> dict[float, float]:
+        """Virtual per-query latency percentiles in seconds.
+
+        Keys are the requested percentiles as floats (``{50.0: ...}``),
+        regardless of how ``q`` was spelled.
+        """
+        qs = [float(p) for p in q]
         if not self.latencies:
-            return {p: 0.0 for p in q}
-        arr = np.array(list(self.latencies.values()))
-        return {p: float(np.percentile(arr, p)) for p in q}
+            return {p: 0.0 for p in qs}
+        arr = np.asarray(list(self.latencies.values()), dtype=np.float64)
+        if arr.size == 1:
+            # a percentile of one sample is that sample; skip np.percentile,
+            # which warns on some NumPy versions for degenerate inputs
+            return {p: float(arr[0]) for p in qs}
+        return {p: float(np.percentile(arr, p)) for p in qs}
 
     def phase_ratios(self) -> dict[str, float]:
         """Phases normalized by their sum (Figure 6's stacked ratios)."""
@@ -93,14 +117,113 @@ class GraphEngine:
                                         halo_hops=self.config.halo_hops)
 
     # -- SSPPR -------------------------------------------------------------
+    def run(self, request: RunRequest) -> QueryRunResult:
+        """Run one batched SSPPR request — the engine's query entry point.
+
+        Dispatches on ``request.mode`` (PPR Engine / tensor baseline /
+        inter-query batching), deploys a fresh cluster with the request's
+        tracing, fault-plan, and retry-policy overrides, and reports the
+        fault-tolerance counters alongside the usual throughput numbers.
+
+        Under ``degradation=fail_fast`` (the default), the first remote
+        fetch that exhausts its retries propagates as
+        :class:`~repro.errors.RpcTimeoutError` /
+        :class:`~repro.errors.WorkerCrashedError` out of this call; under
+        ``skip_remote`` the batch completes and the accuracy loss is
+        accounted in ``degraded_queries`` / ``abandoned_mass``.
+        """
+        cfg = self.config
+        params = request.params if request.params is not None else PPRParams()
+        seed = cfg.seed if request.seed is None else request.seed
+        if request.sources is not None:
+            sources = request.sources
+        else:
+            sources = sample_sources(self.sharded, request.n_queries,
+                                     seed=seed)
+        opt = request.opt if request.opt is not None else cfg.opt
+
+        cluster = SimCluster(self.sharded, cfg,
+                             trace_rpc=request.trace_rpc,
+                             fault_plan=request.fault_plan,
+                             retry_policy=request.resolved_retry_policy())
+        assignment = assign_queries(self.sharded, sources,
+                                    cfg.procs_per_machine)
+        states: dict[int, object] = {}
+        latencies: dict[int, float] = {}
+        fault_stats = {"degraded_queries": 0, "abandoned_mass": 0.0}
+        # batched mode always collects: its per-query views are the only
+        # way to read results back out of the shared MultiSSPPR
+        collect = states if (request.keep_states
+                             or request.mode == "batched") else None
+        for (machine, proc_index), chunk in assignment.items():
+            name = cfg.worker_name(machine, proc_index)
+            if request.mode == "tensor":
+                g = DistGraphStorage(cluster.rrefs, machine, name,
+                                     compress=True)
+                body = multi_query_tensor_driver(
+                    g, _late_proc(cluster, name), chunk, self.sharded,
+                    params, collect=collect,
+                )
+            elif request.mode == "batched":
+                g = DistGraphStorage(cluster.rrefs, machine, name,
+                                     compress=True)
+                body = multi_query_batched_driver(
+                    g, _late_proc(cluster, name), chunk, self.sharded,
+                    params, collect=collect,
+                )
+            else:
+                g = DistGraphStorage(cluster.rrefs, machine, name,
+                                     compress=opt.compressed)
+                body = multi_query_driver(
+                    g, _late_proc(cluster, name), chunk, self.sharded,
+                    params, opt=opt, collect=collect,
+                    latencies=latencies, degradation=request.degradation,
+                    fault_stats=fault_stats,
+                )
+            cluster.spawn_compute(machine, proc_index, body)
+
+        makespan = cluster.run()
+        procs = cluster.compute_processes()
+        # surface driver failures (fail_fast): result_of re-raises the
+        # exception a compute process finished with
+        for p in procs:
+            cluster.scheduler.result_of(p.name)
+        phases = aggregate_breakdowns([p.breakdown for p in procs])
+        ctx = cluster.ctx
+        return QueryRunResult(
+            n_queries=len(sources),
+            makespan=makespan,
+            throughput=len(sources) / makespan if makespan > 0 else float("inf"),
+            phases=phases,
+            per_proc_clocks={p.name: p.clock for p in procs},
+            remote_requests=ctx.remote_requests,
+            local_calls=ctx.local_calls,
+            states=states,
+            trace=ctx.tracer,
+            latencies=latencies,
+            retries=ctx.retries,
+            timeouts=ctx.timeouts,
+            dropped_messages=ctx.dropped_messages,
+            degraded_queries=fault_stats["degraded_queries"],
+            abandoned_mass=fault_stats["abandoned_mass"],
+        )
+
     def run_queries(self, n_queries: int | None = None, *,
                     sources: np.ndarray | None = None,
                     params: PPRParams | None = None,
                     keep_states: bool = False,
                     seed: int | None = None) -> QueryRunResult:
-        """Run a batch of SSPPR queries on the PPR Engine."""
-        return self._run(n_queries, sources, params, keep_states, seed,
-                         tensor=False)
+        """Deprecated: use ``engine.run(RunRequest(...))``."""
+        warnings.warn(
+            "GraphEngine.run_queries() is deprecated; use "
+            "engine.run(RunRequest(...))",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self.run(RunRequest(
+            n_queries=n_queries if sources is None else None,
+            sources=sources, params=params, keep_states=keep_states,
+            seed=seed,
+        ))
 
     def run_queries_batched(self, n_queries: int | None = None, *,
                             sources: np.ndarray | None = None,
@@ -111,105 +234,28 @@ class GraphEngine:
         Each computing process advances its whole query chunk in lockstep,
         sharing every iteration's per-shard RPC across queries — trading a
         little extra state for far fewer, larger messages.  Results land in
-        ``states`` keyed by source global ID like :meth:`run_queries`.
+        ``states`` keyed by source global ID.  Convenience wrapper over
+        :meth:`run` with ``mode="batched"``.
         """
-        from repro.engine.query import multi_query_batched_driver
-
-        cfg = self.config
-        params = params if params is not None else PPRParams()
-        seed = cfg.seed if seed is None else seed
-        if sources is None:
-            if n_queries is None:
-                raise ValueError("pass n_queries or sources")
-            sources = sample_sources(self.sharded, n_queries, seed=seed)
-        sources = np.asarray(sources, dtype=np.int64)
-
-        cluster = SimCluster(self.sharded, cfg)
-        assignment = assign_queries(self.sharded, sources,
-                                    cfg.procs_per_machine)
-        states: dict[int, object] = {}
-        for (machine, proc_index), chunk in assignment.items():
-            name = cfg.worker_name(machine, proc_index)
-            g = DistGraphStorage(cluster.rrefs, machine, name, compress=True)
-            body = multi_query_batched_driver(
-                g, _late_proc(cluster, name), chunk, self.sharded, params,
-                collect=states,
-            )
-            cluster.spawn_compute(machine, proc_index, body)
-        makespan = cluster.run()
-        procs = cluster.compute_processes()
-        phases = aggregate_breakdowns([p.breakdown for p in procs])
-        return QueryRunResult(
-            n_queries=len(sources),
-            makespan=makespan,
-            throughput=len(sources) / makespan if makespan > 0 else float("inf"),
-            phases=phases,
-            per_proc_clocks={p.name: p.clock for p in procs},
-            remote_requests=cluster.ctx.remote_requests,
-            local_calls=cluster.ctx.local_calls,
-            states=states,
-            trace=cluster.ctx.tracer,
-        )
+        return self.run(RunRequest(
+            n_queries=n_queries if sources is None else None,
+            sources=sources, params=params, seed=seed, mode="batched",
+        ))
 
     def run_tensor_queries(self, n_queries: int | None = None, *,
                            sources: np.ndarray | None = None,
                            params: PPRParams | None = None,
                            keep_states: bool = False,
                            seed: int | None = None) -> QueryRunResult:
-        """Run the same batch on the dense tensor baseline."""
-        return self._run(n_queries, sources, params, keep_states, seed,
-                         tensor=True)
+        """Run the same batch on the dense tensor baseline.
 
-    def _run(self, n_queries, sources, params, keep_states, seed,
-             *, tensor: bool) -> QueryRunResult:
-        cfg = self.config
-        params = params if params is not None else PPRParams()
-        seed = cfg.seed if seed is None else seed
-        if sources is None:
-            if n_queries is None:
-                raise ValueError("pass n_queries or sources")
-            sources = sample_sources(self.sharded, n_queries, seed=seed)
-        sources = np.asarray(sources, dtype=np.int64)
-
-        cluster = SimCluster(self.sharded, cfg)
-        assignment = assign_queries(self.sharded, sources,
-                                    cfg.procs_per_machine)
-        states: dict[int, object] = {}
-        latencies: dict[int, float] = {}
-        collect = states if keep_states else None
-        for (machine, proc_index), chunk in assignment.items():
-            name = cfg.worker_name(machine, proc_index)
-            g = DistGraphStorage(cluster.rrefs, machine, name,
-                                 compress=(True if tensor
-                                           else cfg.opt.compressed))
-            if tensor:
-                body = multi_query_tensor_driver(
-                    g, _late_proc(cluster, name), chunk, self.sharded,
-                    params, collect=collect,
-                )
-            else:
-                body = multi_query_driver(
-                    g, _late_proc(cluster, name), chunk, self.sharded,
-                    params, opt=cfg.opt, collect=collect,
-                    latencies=latencies,
-                )
-            cluster.spawn_compute(machine, proc_index, body)
-
-        makespan = cluster.run()
-        procs = cluster.compute_processes()
-        phases = aggregate_breakdowns([p.breakdown for p in procs])
-        return QueryRunResult(
-            n_queries=len(sources),
-            makespan=makespan,
-            throughput=len(sources) / makespan if makespan > 0 else float("inf"),
-            phases=phases,
-            per_proc_clocks={p.name: p.clock for p in procs},
-            remote_requests=cluster.ctx.remote_requests,
-            local_calls=cluster.ctx.local_calls,
-            states=states,
-            trace=cluster.ctx.tracer,
-            latencies=latencies,
-        )
+        Convenience wrapper over :meth:`run` with ``mode="tensor"``.
+        """
+        return self.run(RunRequest(
+            n_queries=n_queries if sources is None else None,
+            sources=sources, params=params, keep_states=keep_states,
+            seed=seed, mode="tensor",
+        ))
 
     # -- random walks ---------------------------------------------------------
     def run_random_walks(self, n_roots: int, walk_length: int, *,

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.ppr.distributed import (
+    DegradationMode,
     OptLevel,
     distributed_sppr_query,
     distributed_tensor_query,
@@ -72,11 +73,17 @@ def assign_queries(sharded: ShardedGraph, sources_global: np.ndarray,
 def multi_query_driver(g: DistGraphStorage, proc, sources_global: np.ndarray,
                        sharded: ShardedGraph, params: PPRParams, *,
                        opt: OptLevel, collect: dict | None = None,
-                       latencies: dict | None = None):
+                       latencies: dict | None = None,
+                       degradation: DegradationMode = DegradationMode.FAIL_FAST,
+                       fault_stats: dict | None = None):
     """Coroutine: run each assigned query to completion, in order.
 
     ``latencies`` (optional) receives per-query virtual durations keyed by
     source global ID — the engine's latency-percentile reporting.
+
+    ``fault_stats`` (optional, shared across the batch's drivers) aggregates
+    ``skip_remote`` degradation: queries that lost at least one remote fetch
+    and the total residual mass written off.
     """
     local_ids, shard_ids = sharded.address_of(sources_global)
     if np.any(shard_ids != g.shard_id):
@@ -86,10 +93,13 @@ def multi_query_driver(g: DistGraphStorage, proc, sources_global: np.ndarray,
     for gid, lid in zip(sources_global.tolist(), local_ids.tolist()):
         started = proc.clock
         state = yield from distributed_sppr_query(
-            g, proc, lid, params, opt=opt
+            g, proc, lid, params, opt=opt, degradation=degradation
         )
         if latencies is not None:
             latencies[gid] = proc.clock - started
+        if fault_stats is not None and state.skipped_fetches > 0:
+            fault_stats["degraded_queries"] += 1
+            fault_stats["abandoned_mass"] += state.abandoned_mass
         if collect is not None:
             collect[gid] = state
     return len(sources_global)

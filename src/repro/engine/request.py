@@ -1,0 +1,121 @@
+"""The engine's run-request API.
+
+A :class:`RunRequest` bundles everything that parameterizes one batched
+query run — the query set, PPR parameters, RPC optimization level, tracing,
+seeding, and the fault-tolerance knobs (fault plan, retry policy,
+degradation mode) — into a single validated value passed to
+:meth:`~repro.engine.engine.GraphEngine.run`::
+
+    from repro import FaultPlan, GraphEngine, RunRequest
+
+    run = engine.run(RunRequest(
+        n_queries=64,
+        fault_plan=FaultPlan(seed=7, drop_prob=0.01),
+    ))
+    print(run.throughput, run.retries, run.degraded_queries)
+
+This replaces the sprawling ``run_queries(...)`` keyword surface (which
+survives as a deprecated shim).  Requests are frozen: one request can be
+replayed against several engines or configurations and means the same thing
+every time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ppr.distributed import DegradationMode, OptLevel
+from repro.ppr.params import PPRParams
+from repro.rpc.retry import RetryPolicy
+from repro.simt.faults import FaultPlan
+
+#: execution modes: the PPR Engine, the dense tensor baseline, and the
+#: inter-query batched MultiSSPPR engine
+RUN_MODES = ("engine", "tensor", "batched")
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One batched SSPPR run, fully specified.
+
+    Parameters
+    ----------
+    n_queries / sources:
+        Either a query count (sources sampled with ``seed``) or an explicit
+        array of source global IDs.  Exactly one must be provided.
+    params:
+        PPR parameters; engine defaults when ``None``.
+    mode:
+        ``"engine"`` (hashmap PPR engine, the default), ``"tensor"`` (dense
+        baseline), or ``"batched"`` (inter-query MultiSSPPR batching).
+    opt:
+        RPC optimization level override; the config's level when ``None``.
+        Only meaningful for ``mode="engine"``.
+    keep_states:
+        Collect per-query result states into ``QueryRunResult.states``
+        (``mode="batched"`` always collects).
+    seed:
+        Source-sampling seed override; the config's seed when ``None``.
+    trace_rpc:
+        Attach an :class:`~repro.rpc.tracing.RpcTracer` override; the
+        config's flag when ``None``.
+    fault_plan:
+        Injected faults for this run (chaos testing); ``None`` = healthy.
+    retry_policy:
+        Timeout/retry/backoff for remote calls.  ``None`` with a non-empty
+        ``fault_plan`` gets the default policy so drops resolve as timeouts.
+    degradation:
+        What a query does when a remote fetch exhausts its retries
+        (``mode="engine"`` only; the tensor and batched drivers always
+        fail fast).
+    """
+
+    n_queries: int | None = None
+    sources: np.ndarray | None = None
+    params: PPRParams | None = None
+    mode: str = "engine"
+    opt: OptLevel | None = None
+    keep_states: bool = False
+    seed: int | None = None
+    trace_rpc: bool | None = None
+    fault_plan: FaultPlan | None = None
+    retry_policy: RetryPolicy | None = None
+    degradation: DegradationMode = DegradationMode.FAIL_FAST
+
+    def __post_init__(self) -> None:
+        if self.mode not in RUN_MODES:
+            raise ValueError(
+                f"mode must be one of {RUN_MODES}, got {self.mode!r}"
+            )
+        if self.sources is None and self.n_queries is None:
+            raise ValueError("pass n_queries or sources")
+        if self.sources is not None and self.n_queries is not None:
+            raise ValueError("pass n_queries or sources, not both")
+        if self.n_queries is not None and self.n_queries <= 0:
+            raise ValueError(
+                f"n_queries must be > 0, got {self.n_queries}"
+            )
+        if not isinstance(self.degradation, DegradationMode):
+            raise TypeError(
+                f"degradation must be a DegradationMode, "
+                f"got {type(self.degradation).__name__}"
+            )
+        if self.sources is not None:
+            object.__setattr__(
+                self, "sources", np.asarray(self.sources, dtype=np.int64)
+            )
+
+    def resolved_retry_policy(self) -> RetryPolicy | None:
+        """The retry policy this request runs with.
+
+        A non-empty fault plan without an explicit policy gets the default
+        :class:`RetryPolicy` — otherwise a dropped message would leave its
+        caller waiting on a future nobody resolves (a virtual deadlock).
+        """
+        if self.retry_policy is not None:
+            return self.retry_policy
+        if self.fault_plan is not None and not self.fault_plan.is_empty():
+            return RetryPolicy()
+        return None

@@ -26,6 +26,26 @@ class RpcError(ReproError):
     """An RPC could not be dispatched or its handler raised."""
 
 
+class RpcTimeoutError(RpcError):
+    """A remote call exhausted its retry budget without a reply.
+
+    Raised to the waiting caller after a :class:`~repro.rpc.retry.RetryPolicy`
+    runs out of attempts — each attempt either lost to the network (a
+    :class:`~repro.simt.faults.FaultPlan` drop) or answered past its
+    per-call timeout.
+    """
+
+
+class WorkerCrashedError(RpcError):
+    """A remote call exhausted its retries against a crashed server.
+
+    The transport cannot distinguish a dead server from a lossy network
+    attempt-by-attempt (both look like a missing reply), but when the last
+    failed attempt targeted a server inside a crash window the typed error
+    names the real cause.
+    """
+
+
 class SimulationError(ReproError):
     """The discrete-event runtime reached an invalid state (e.g. deadlock)."""
 

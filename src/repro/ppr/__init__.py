@@ -22,6 +22,7 @@ Implements every PPR method the paper evaluates:
 
 from repro.ppr.accuracy import l1_error, topk_nodes, topk_precision
 from repro.ppr.distributed import (
+    DegradationMode,
     OptLevel,
     distributed_multi_query,
     distributed_sppr_query,
@@ -39,6 +40,7 @@ from repro.ppr.ppr_ops import SSPPR
 from repro.ppr.tensor_ops import DenseSSPPR
 
 __all__ = [
+    "DegradationMode",
     "DenseSSPPR",
     "MultiSSPPR",
     "OptLevel",

@@ -25,11 +25,32 @@ import enum
 
 import numpy as np
 
+from repro.errors import RpcTimeoutError, WorkerCrashedError
 from repro.ppr.params import PPRParams
 from repro.ppr.ppr_ops import SSPPR
 from repro.ppr.tensor_ops import DenseSSPPR
 from repro.simt.events import Wait
 from repro.storage.dist_storage import DistGraphStorage
+
+#: transport-level failures the degradation modes may absorb.  Handler
+#: errors (ShardError etc.) always propagate: they are bugs, not faults.
+TRANSPORT_ERRORS = (RpcTimeoutError, WorkerCrashedError)
+
+
+class DegradationMode(enum.Enum):
+    """What a query does when a remote fetch exhausts its retries.
+
+    * ``FAIL_FAST``   — re-raise; the whole batch run fails loudly.
+    * ``SKIP_REMOTE`` — write off the unreachable sources' residual mass
+      (:meth:`~repro.ppr.ppr_ops.SSPPR.abandon`) and keep going, mirroring
+      the halo-cache fallback's serve-what-you-have philosophy.  The query
+      completes with bounded accuracy loss, accounted in
+      ``abandoned_mass`` / ``skipped_fetches`` on the state and surfaced as
+      ``degraded_queries`` on the run result.
+    """
+
+    FAIL_FAST = "fail_fast"
+    SKIP_REMOTE = "skip_remote"
 
 
 class OptLevel(enum.Enum):
@@ -55,17 +76,24 @@ class OptLevel(enum.Enum):
 
 def distributed_sppr_query(g: DistGraphStorage, proc, source_local: int,
                            params: PPRParams, *,
-                           opt: OptLevel = OptLevel.OVERLAP):
+                           opt: OptLevel = OptLevel.OVERLAP,
+                           degradation: DegradationMode = DegradationMode.FAIL_FAST):
     """Coroutine computing one SSPPR query on the PPR Engine.
 
     The query's source must be a core node of the caller's shard (the
     owner-compute rule dispatches each query to the machine hosting its
     source).  Returns the finished :class:`~repro.ppr.ppr_ops.SSPPR` state.
+
+    ``degradation`` selects the response to a remote fetch that fails at
+    the transport level (retry budget exhausted against a lossy network or
+    crashed server): fail fast, or skip the unreachable batch with bounded,
+    accounted accuracy loss.
     """
     if g.compress != opt.compressed:
         raise ValueError(
             f"storage compress={g.compress} inconsistent with opt={opt}"
         )
+    skip = degradation is DegradationMode.SKIP_REMOTE
     shard = g.shard_id
     wfut = g.source_weighted_degrees(
         shard, np.array([source_local], dtype=np.int64)
@@ -85,7 +113,13 @@ def distributed_sppr_query(g: DistGraphStorage, proc, source_local: int,
                 fut = g.get_neighbor_infos_single(
                     int(shard_ids[i]), int(node_ids[i])
                 )
-                infos = yield Wait(fut)
+                try:
+                    infos = yield Wait(fut)
+                except TRANSPORT_ERRORS:
+                    if not skip:
+                        raise
+                    m.abandon(node_ids[i:i + 1], shard_ids[i:i + 1])
+                    continue
                 with proc.measured("push"):
                     m.push(infos, node_ids[i:i + 1], shard_ids[i:i + 1])
             continue
@@ -104,7 +138,12 @@ def distributed_sppr_query(g: DistGraphStorage, proc, source_local: int,
         remote_infos = {}
         if not opt.overlapped:
             for j, fut in futs.items():
-                remote_infos[j] = yield Wait(fut)
+                try:
+                    remote_infos[j] = yield Wait(fut)
+                except TRANSPORT_ERRORS:
+                    if not skip:
+                        raise
+                    remote_infos[j] = None
 
         local_mask = masks[shard]
         if local_mask.any():
@@ -114,9 +153,19 @@ def distributed_sppr_query(g: DistGraphStorage, proc, source_local: int,
                 m.push(infos, node_ids[local_mask], shard_ids[local_mask])
 
         for j in futs:
-            infos = remote_infos[j] if not opt.overlapped \
-                else (yield Wait(futs[j]))
             jm = masks[j]
+            if opt.overlapped:
+                try:
+                    infos = yield Wait(futs[j])
+                except TRANSPORT_ERRORS:
+                    if not skip:
+                        raise
+                    infos = None
+            else:
+                infos = remote_infos[j]
+            if infos is None:  # skip_remote: write off this shard's batch
+                m.abandon(node_ids[jm], shard_ids[jm])
+                continue
             with proc.measured("push"):
                 m.push(infos, node_ids[jm], shard_ids[jm])
     return m

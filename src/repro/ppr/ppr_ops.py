@@ -62,6 +62,11 @@ class SSPPR:
         self.n_pushes = 0
         self.n_entries_processed = 0
         self.n_iterations = 0
+        # Degradation accounting (skip_remote fault handling): residual mass
+        # written off because its shard could not be fetched.  Invariantly
+        # sum(ppr) + sum(residual) + abandoned_mass == 1.
+        self.abandoned_mass = 0.0
+        self.skipped_fetches = 0
 
         source_key = np.array(
             [int(source_local) * self.n_shards + int(source_shard)],
@@ -175,6 +180,28 @@ class SSPPR:
             self.queued[hot] = True
             # may contain duplicate keys; pop() dedups once per iteration
             self._frontier_chunks.append(nbr_keys[newly])
+
+    def abandon(self, local_ids: np.ndarray, shard_ids: np.ndarray) -> float:
+        """Write off popped sources whose neighbor fetch failed for good.
+
+        The ``skip_remote`` degradation mode calls this instead of ``push``
+        when a shard's batch could not be fetched within the retry budget:
+        the sources' residual mass is dropped (they were already dequeued by
+        ``pop``), bounding the query's accuracy loss by the returned mass —
+        the same quantity the forward-push L1 error bound is built on.
+        """
+        if len(local_ids) == 0:
+            return 0.0
+        keys = pack_keys(np.asarray(local_ids, dtype=np.int64),
+                         np.asarray(shard_ids, dtype=np.int64),
+                         self.n_shards)
+        idx = self.map.lookup(keys)
+        idx = idx[idx >= 0]
+        lost = float(self.residual[idx].sum())
+        self.residual[idx] = 0.0
+        self.abandoned_mass += lost
+        self.skipped_fetches += 1
+        return lost
 
     # -- results ------------------------------------------------------------
     @property

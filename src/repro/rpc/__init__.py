@@ -22,6 +22,7 @@ Two interchangeable executions:
 """
 
 from repro.rpc.api import RpcContext
+from repro.rpc.retry import RetryPolicy
 from repro.rpc.rref import RRef
 from repro.rpc.serialization import payload_sizes
 from repro.rpc.thread_runtime import ThreadRuntime
@@ -29,6 +30,7 @@ from repro.rpc.worker import RpcServer, WorkerInfo
 
 __all__ = [
     "RRef",
+    "RetryPolicy",
     "RpcContext",
     "RpcServer",
     "ThreadRuntime",

@@ -17,10 +17,12 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.errors import RpcError
+from repro.errors import RpcError, RpcTimeoutError, WorkerCrashedError
+from repro.rpc.retry import RetryPolicy
 from repro.rpc.rref import RRef
 from repro.rpc.serialization import payload_sizes
 from repro.rpc.worker import RpcServer, WorkerInfo
+from repro.simt.faults import FaultPlan
 from repro.simt.futures import SimFuture
 from repro.simt.network import NetworkModel
 from repro.simt.process import SimProcess
@@ -28,10 +30,20 @@ from repro.simt.scheduler import Scheduler
 
 
 class RpcContext:
-    """Registry + dispatcher for a simulated RPC group."""
+    """Registry + dispatcher for a simulated RPC group.
+
+    With a :class:`~repro.simt.faults.FaultPlan` and/or
+    :class:`~repro.rpc.retry.RetryPolicy` attached, remote dispatch runs
+    through the fault-tolerant path: attempts can be dropped, delayed, or
+    lost to crashed servers, per-call timeout timers fire on the scheduler,
+    and retransmissions with deterministic backoff keep the call alive until
+    it succeeds or the budget is exhausted.  Without either, dispatch takes
+    the original zero-overhead path.
+    """
 
     def __init__(self, scheduler: Scheduler, network: NetworkModel,
-                 tracer=None) -> None:
+                 tracer=None, *, fault_plan: FaultPlan | None = None,
+                 retry_policy: RetryPolicy | None = None) -> None:
         self.scheduler = scheduler
         self.network = network
         self._workers: dict[str, WorkerInfo] = {}
@@ -43,6 +55,18 @@ class RpcContext:
         self.local_calls = 0
         #: optional RpcTracer recording every dispatched call
         self.tracer = tracer
+        #: injected faults; a plan without a policy gets default retries so
+        #: dropped messages resolve as timeouts instead of deadlocks
+        self.fault_plan = fault_plan
+        if fault_plan is not None and not fault_plan.is_empty() \
+                and retry_policy is None:
+            retry_policy = RetryPolicy()
+        self.retry_policy = retry_policy
+        #: fault-layer counters (surfaced on QueryRunResult)
+        self.retries = 0
+        self.timeouts = 0
+        self.dropped_messages = 0
+        self._call_indices: dict[str, int] = {}
 
     # -- registration -----------------------------------------------------
     def register_server(self, name: str, machine_id: int,
@@ -51,7 +75,8 @@ class RpcContext:
         info = self._register(name, machine_id)
         process = self.scheduler.add_passive(name)
         host = self._processes[colocated_with] if colocated_with else None
-        server = RpcServer(info, process, host_process=host)
+        server = RpcServer(info, process, host_process=host,
+                           fault_plan=self.fault_plan)
         self._processes[name] = process
         self._servers[name] = server
         return server
@@ -136,22 +161,152 @@ class RpcContext:
         self.remote_requests += 1
         caller.charge_seconds(self.network.send_overhead(), "rpc_issue")
         req_bytes, req_tensors = payload_sizes([list(args), kwargs])
-        arrival = caller.clock + self.network.transfer_time(req_bytes, req_tensors)
         fut = SimFuture(tag=f"rpc:{rref.owner_name}.{method}")
 
-        def deliver() -> None:
-            try:
-                result, _start, end = server.serve(arrival, rref.key, method,
-                                                   args, kwargs)
-            except BaseException as exc:  # handler failure travels back
-                fut.set_exception(exc, arrival + self.network.transfer_time(64, 0))
-                return
-            resp_bytes, resp_tensors = payload_sizes(result)
-            ready = end + self.network.transfer_time(resp_bytes, resp_tensors)
-            fut.set_result(result, ready)
+        if self.retry_policy is None and self.fault_plan is None:
+            # Healthy fast path: identical to the pre-fault-layer engine.
+            arrival = caller.clock + self.network.transfer_time(req_bytes,
+                                                               req_tensors)
 
-        self.scheduler._schedule(arrival, deliver)
+            def deliver() -> None:
+                try:
+                    result, _start, end = server.serve(arrival, rref.key,
+                                                       method, args, kwargs)
+                except BaseException as exc:  # handler failure travels back
+                    fut.set_exception(
+                        exc, arrival + self.network.transfer_time(64, 0)
+                    )
+                    return
+                resp_bytes, resp_tensors = payload_sizes(result)
+                ready = end + self.network.transfer_time(resp_bytes,
+                                                         resp_tensors)
+                fut.set_result(result, ready)
+
+            self.scheduler.call_at(arrival, deliver)
+            return fut
+
+        self._dispatch_with_retries(
+            fut, caller_name, caller, rref, server, method, args, kwargs,
+            caller_machine, owner_machine, req_bytes, req_tensors,
+        )
         return fut
+
+    def _dispatch_with_retries(self, fut: SimFuture, caller_name: str,
+                               caller: SimProcess, rref: RRef,
+                               server: RpcServer, method: str, args: tuple,
+                               kwargs: dict, caller_machine: int,
+                               owner_machine: int, req_bytes: int,
+                               req_tensors: int) -> None:
+        """Run one logical remote call through the timeout/retry machinery.
+
+        Each attempt either delivers (request survives the network, the
+        server is up, and the reply beats the deadline) or is written off by
+        the attempt's timeout timer, which retransmits after a deterministic
+        backoff or — once the budget is spent — resolves ``fut`` with a
+        typed error.  Retransmissions happen on the RPC layer's background
+        timeline: the caller paid its issue overhead once and is blocked in
+        ``Wait`` until ``fut`` resolves.
+        """
+        plan = self.fault_plan if self.fault_plan is not None else FaultPlan()
+        policy = (self.retry_policy if self.retry_policy is not None
+                  else RetryPolicy())
+        call_index = self._call_indices.get(caller_name, 0)
+        self._call_indices[caller_name] = call_index + 1
+        owner_name = rref.owner_name
+        #: why the latest attempt failed ("drop" | "crash" | "late")
+        last_failure = {"cause": "late"}
+
+        def attempt(n: int, send_time: float) -> None:
+            if fut.done:
+                return
+            if n > 1:
+                self.retries += 1
+                self._trace_fault("retry", caller_name, owner_name, method,
+                                  n, send_time)
+            deadline = send_time + policy.timeout
+            if plan.roll_drop(caller_name, call_index, n):
+                self.dropped_messages += 1
+                last_failure["cause"] = "drop"
+                self._trace_fault("drop", caller_name, owner_name, method,
+                                  n, send_time)
+                self.scheduler.call_at(deadline, lambda: on_timeout(n, deadline))
+                return
+            arrival = send_time + self.network.transfer_time_under(
+                plan, req_bytes, req_tensors,
+                src_machine=caller_machine, dst_machine=owner_machine,
+                caller=caller_name, call_index=call_index, attempt=n,
+            )
+
+            def deliver() -> None:
+                if fut.done:
+                    return  # an earlier attempt already resolved the call
+                if plan.is_crashed(owner_name, self.scheduler.now):
+                    last_failure["cause"] = "crash"
+                    self._trace_fault("crash", caller_name, owner_name,
+                                      method, n, self.scheduler.now)
+                    return  # message lost on a dead server; timer handles it
+                try:
+                    result, _start, end = server.serve(arrival, rref.key,
+                                                       method, args, kwargs)
+                except BaseException as exc:  # handler failure travels back
+                    fut.set_exception(
+                        exc, arrival + self.network.transfer_time(64, 0)
+                    )
+                    return
+                resp_bytes, resp_tensors = payload_sizes(result)
+                ready = end + self.network.transfer_time_under(
+                    plan, resp_bytes, resp_tensors,
+                    src_machine=owner_machine, dst_machine=caller_machine,
+                    caller=caller_name, call_index=call_index, attempt=n,
+                )
+                if ready <= deadline:
+                    fut.set_result(result, ready)
+                else:
+                    # Reply lands after the caller gave up on this attempt;
+                    # it is discarded (classic at-least-once semantics).
+                    last_failure["cause"] = "late"
+
+            self.scheduler.call_at(max(arrival, send_time), deliver)
+            self.scheduler.call_at(deadline, lambda: on_timeout(n, deadline))
+
+        def on_timeout(n: int, deadline: float) -> None:
+            if fut.done:
+                return
+            self.timeouts += 1
+            self._trace_fault("timeout", caller_name, owner_name, method,
+                              n, deadline)
+            if n >= policy.max_attempts:
+                cause = last_failure["cause"]
+                detail = (f"{caller_name} -> {owner_name}.{method} failed "
+                          f"after {n} attempt(s) "
+                          f"(timeout={policy.timeout:g}s, last cause: {cause})")
+                exc: RpcError
+                if cause == "crash":
+                    exc = WorkerCrashedError(detail)
+                else:
+                    exc = RpcTimeoutError(detail)
+                self._trace_fault("giveup", caller_name, owner_name, method,
+                                  n, deadline)
+                fut.set_exception(exc, deadline)
+                return
+            delay = policy.backoff_delay(n, seed=plan.seed,
+                                         caller=caller_name,
+                                         call_index=call_index)
+            next_send = deadline + delay
+            self.scheduler.call_at(next_send, lambda: attempt(n + 1, next_send))
+
+        attempt(1, caller.clock)
+
+    def _trace_fault(self, kind: str, caller: str, owner: str, method: str,
+                     attempt: int, time: float) -> None:
+        if self.tracer is None:
+            return
+        from repro.rpc.tracing import RpcFaultRecord
+
+        self.tracer.record_fault(RpcFaultRecord(
+            time=time, caller=caller, owner=owner, method=method,
+            kind=kind, attempt=attempt,
+        ))
 
     # -- collectives ----------------------------------------------------------
     def allreduce_mean(self, group: str, caller_name: str, n_members: int,

@@ -21,7 +21,8 @@ from concurrent.futures import Future as _PyFuture
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Generator
 
-from repro.errors import RpcError, SimulationError
+from repro.errors import RpcError, RpcTimeoutError, SimulationError
+from repro.rpc.retry import RetryPolicy
 from repro.rpc.rref import RRef
 from repro.rpc.worker import WorkerInfo
 from repro.simt.events import Charge, Sleep, Wait, WaitAll
@@ -119,13 +120,28 @@ class ThreadRuntime:
     the storage layer work unchanged.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, fault_plan=None, retry_policy=None) -> None:
         self._workers: dict[str, WorkerInfo] = {}
         self._processes: dict[str, ThreadProcess] = {}
         self._servers: dict[str, _ThreadServer] = {}
         self._threads: list[threading.Thread] = []
         self.remote_requests = 0
         self.local_calls = 0
+        #: fault injection: the *same* FaultPlan drop decisions replay here
+        #: as on the virtual-time scheduler, because decisions are keyed on
+        #: (seed, caller, per-caller call index, attempt) — never on time.
+        #: Crash windows are virtual-time constructs and are ignored in
+        #: thread mode; modeled latency terms have no real-time effect.
+        self.fault_plan = fault_plan
+        if fault_plan is not None and not fault_plan.is_empty() \
+                and retry_policy is None:
+            retry_policy = RetryPolicy()
+        self.retry_policy = retry_policy
+        self.retries = 0
+        self.timeouts = 0
+        self.dropped_messages = 0
+        self._call_indices: dict[str, int] = {}
+        self._fault_lock = threading.Lock()
 
     # -- registration (RpcContext-compatible) ------------------------------
     def register_server(self, name: str, machine_id: int,
@@ -181,6 +197,35 @@ class ThreadRuntime:
             self.local_calls += 1
             return ThreadFuture.resolved(fn(*args, **kwargs))
         self.remote_requests += 1
+
+        plan = self.fault_plan
+        if plan is not None and not plan.is_empty():
+            policy = self.retry_policy
+            with self._fault_lock:
+                call_index = self._call_indices.get(caller_name, 0)
+                self._call_indices[caller_name] = call_index + 1
+
+            def faulty_handler() -> Any:
+                for attempt in range(1, policy.max_attempts + 1):
+                    if attempt > 1:
+                        with self._fault_lock:
+                            self.retries += 1
+                    if plan.roll_drop(caller_name, call_index, attempt):
+                        # Lost request: in thread mode the timeout elapses
+                        # logically (no real sleeping) and we retransmit.
+                        with self._fault_lock:
+                            self.dropped_messages += 1
+                            self.timeouts += 1
+                        continue
+                    server.requests_served += 1
+                    return fn(*args, **kwargs)
+                raise RpcTimeoutError(
+                    f"{caller_name} -> {rref.owner_name}.{method} failed "
+                    f"after {policy.max_attempts} attempt(s) "
+                    f"(timeout={policy.timeout:g}s, last cause: drop)"
+                )
+
+            return ThreadFuture(server.executor.submit(faulty_handler))
 
         def handler() -> Any:
             server.requests_served += 1

@@ -30,17 +30,46 @@ class RpcCallRecord:
     remote: bool
 
 
+@dataclass(frozen=True)
+class RpcFaultRecord:
+    """One fault-layer event on a remote call.
+
+    ``kind`` is one of ``drop`` (request lost in the network), ``crash``
+    (request reached a dead server), ``timeout`` (an attempt's deadline
+    fired), ``retry`` (a retransmission was issued), ``late`` is folded into
+    ``timeout``, and ``giveup`` (retry budget exhausted; the caller sees a
+    typed error).  ``attempt`` is 1-based within the logical call.
+    """
+
+    time: float
+    caller: str
+    owner: str
+    method: str
+    kind: str
+    attempt: int
+
+
 @dataclass
 class RpcTracer:
-    """Accumulates :class:`RpcCallRecord` entries."""
+    """Accumulates :class:`RpcCallRecord` and :class:`RpcFaultRecord` entries."""
 
     records: list[RpcCallRecord] = field(default_factory=list)
+    fault_records: list[RpcFaultRecord] = field(default_factory=list)
 
     def record(self, rec: RpcCallRecord) -> None:
         self.records.append(rec)
 
+    def record_fault(self, rec: RpcFaultRecord) -> None:
+        self.fault_records.append(rec)
+
     def __len__(self) -> int:
         return len(self.records)
+
+    def faults_by_kind(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for r in self.fault_records:
+            out[r.kind] = out.get(r.kind, 0) + 1
+        return out
 
     # -- summaries ----------------------------------------------------------
     def remote_records(self) -> list[RpcCallRecord]:
@@ -82,4 +111,5 @@ class RpcTracer:
             "by_method": self.calls_by_method(),
             "machine_matrix": self.machine_matrix(n_machines).tolist(),
             "payload_percentiles": self.payload_percentiles(),
+            "faults_by_kind": self.faults_by_kind(),
         }

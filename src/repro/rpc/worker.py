@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.errors import RpcError
+from repro.errors import RpcError, WorkerCrashedError
 from repro.simt.process import SimProcess
 from repro.utils.timer import Stopwatch
 
@@ -47,7 +47,8 @@ class RpcServer:
     """A FIFO single-threaded request server bound to one worker."""
 
     def __init__(self, info: WorkerInfo, process: SimProcess,
-                 host_process: SimProcess | None = None) -> None:
+                 host_process: SimProcess | None = None,
+                 fault_plan=None) -> None:
         self.info = info
         self.process = process
         #: computing process sharing the server's interpreter, if colocated
@@ -55,6 +56,10 @@ class RpcServer:
         self.next_free = 0.0
         self.objects: dict[str, Any] = {}
         self.requests_served = 0
+        #: optional FaultPlan consulted for straggler factors and crash
+        #: windows (the dispatch layer checks crashes first; the check here
+        #: guards direct serve() callers)
+        self.fault_plan = fault_plan
 
     def put_object(self, key: str, obj: Any) -> None:
         """Host an object under ``key`` (target of RRef calls)."""
@@ -89,11 +94,20 @@ class RpcServer:
         execution order does not affect results) and its measured duration
         becomes the virtual service time.
         """
+        if self.fault_plan is not None \
+                and self.fault_plan.is_crashed(self.info.name, arrival):
+            raise WorkerCrashedError(
+                f"server {self.info.name!r} is crashed at t={arrival:g}"
+            )
         fn = self.resolve_method(key, method)
         start = max(arrival, self.next_free)
         with Stopwatch() as sw:
             result = fn(*args, **kwargs)
         handler_dt = sw.elapsed
+        if self.fault_plan is not None:
+            # Straggler model: a slow machine's handlers take longer in
+            # virtual time even though the real compute is the same.
+            handler_dt *= self.fault_plan.slow_factor(self.info.machine_id)
         # Server clock accumulates busy time; the FIFO service horizon is
         # tracked by next_free (which also covers idle gaps between arrivals).
         self.process.charge_seconds(handler_dt, "serve")

@@ -24,6 +24,7 @@ directly on their :class:`SimProcess` handle.
 """
 
 from repro.simt.events import Charge, Sleep, Wait, WaitAll
+from repro.simt.faults import CrashWindow, FaultPlan
 from repro.simt.futures import SimFuture
 from repro.simt.network import NetworkModel
 from repro.simt.process import SimProcess
@@ -32,6 +33,8 @@ from repro.simt.sync import SimBarrier
 
 __all__ = [
     "Charge",
+    "CrashWindow",
+    "FaultPlan",
     "NetworkModel",
     "Scheduler",
     "SimBarrier",

@@ -67,6 +67,15 @@ class Scheduler:
         heapq.heappush(self._heap, (at, self._seq, callback))
         self._seq += 1
 
+    def call_at(self, at: float, callback: Callable[[], None]) -> None:
+        """Public timer: run ``callback`` at virtual time ``at`` (>= now).
+
+        This is what the RPC layer's per-call timeouts and retry backoffs
+        are built on; timers fire in deterministic (time, insertion) order
+        like every other event.
+        """
+        self._schedule(at, callback)
+
     def run(self, *, max_events: int | None = None) -> float:
         """Drain the event queue; return the final virtual time.
 

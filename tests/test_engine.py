@@ -1,10 +1,19 @@
 """Integration tests for the GraphEngine facade: end-to-end distributed
 SSPPR / tensor baseline / random walks on the virtual-time cluster."""
 
+import warnings
+
 import numpy as np
 import pytest
 
-from repro import EngineConfig, GraphEngine, OptLevel, PPRParams
+from repro import (
+    DegradationMode,
+    EngineConfig,
+    GraphEngine,
+    OptLevel,
+    PPRParams,
+    RunRequest,
+)
 from repro.graph import powerlaw_cluster
 from repro.partition import HashPartitioner
 from repro.ppr import forward_push_parallel
@@ -71,6 +80,79 @@ class TestRunQueries:
         run = e.run_queries(n_queries=3)
         assert run.remote_requests == 0
         assert run.phases["remote_fetch"] == 0.0
+
+
+class TestRunRequestApi:
+    def test_run_request_equivalent_to_shim(self, engine):
+        sources = np.array([1, 2, 3])
+        new = engine.run(RunRequest(sources=sources, keep_states=True))
+        with pytest.warns(DeprecationWarning, match="run_queries"):
+            old = engine.run_queries(sources=sources, keep_states=True)
+        assert set(new.states) == set(old.states) == {1, 2, 3}
+        for gid in new.states:
+            a = new.states[gid].dense_result(engine.sharded,
+                                             engine.graph.n_nodes)
+            b = old.states[gid].dense_result(engine.sharded,
+                                             engine.graph.n_nodes)
+            assert np.allclose(a, b)
+
+    def test_run_does_not_warn(self, engine):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            engine.run(RunRequest(n_queries=2))
+
+    def test_mode_dispatch(self, engine):
+        tensor = engine.run(RunRequest(n_queries=2, mode="tensor",
+                                       keep_states=True))
+        batched = engine.run(RunRequest(n_queries=2, mode="batched"))
+        assert len(tensor.states) == 2
+        assert len(batched.states) == 2  # batched always collects
+
+    def test_opt_override(self, graph):
+        e = GraphEngine(graph, EngineConfig(n_machines=2,
+                                            opt=OptLevel.OVERLAP, seed=1))
+        single = e.run(RunRequest(n_queries=4, opt=OptLevel.SINGLE, seed=2))
+        overlap = e.run(RunRequest(n_queries=4, seed=2))
+        # per-vertex mode issues far more RPCs than the config's OVERLAP
+        assert single.remote_requests > overlap.remote_requests
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_queries or sources"):
+            RunRequest()
+        with pytest.raises(ValueError, match="not both"):
+            RunRequest(n_queries=2, sources=np.array([1]))
+        with pytest.raises(ValueError, match="must be > 0"):
+            RunRequest(n_queries=0)
+        with pytest.raises(ValueError, match="mode"):
+            RunRequest(n_queries=1, mode="warp")
+        with pytest.raises(TypeError, match="DegradationMode"):
+            RunRequest(n_queries=1, degradation="skip_remote")
+
+    def test_request_is_frozen_and_reusable(self, engine):
+        req = RunRequest(n_queries=3)
+        a = engine.run(req)
+        b = engine.run(req)
+        assert a.n_queries == b.n_queries == 3
+        with pytest.raises(AttributeError):
+            req.n_queries = 5
+
+    def test_latency_percentile_keys_are_floats(self, engine):
+        run = engine.run(RunRequest(n_queries=4))
+        p = run.latency_percentiles(q=(50, 90))
+        assert all(isinstance(k, float) for k in p)
+        assert p[50.0] <= p[90.0]
+
+    def test_single_query_percentiles_no_warning(self, engine):
+        """Regression: one latency sample must not trip NumPy warnings,
+        and every percentile collapses to that sample."""
+        sources = np.array([1])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run = engine.run(RunRequest(sources=sources))
+            p = run.latency_percentiles()
+        assert set(p) == {50.0, 90.0, 99.0}
+        only = run.latencies[1]
+        assert all(v == pytest.approx(only) for v in p.values())
 
 
 class TestOptLevels:

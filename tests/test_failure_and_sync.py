@@ -9,14 +9,28 @@ results.
 import numpy as np
 import pytest
 
-from repro import EngineConfig, PPRParams
+from repro import EngineConfig, GraphEngine, PPRParams, RunRequest
 from repro.engine.cluster import SimCluster
-from repro.errors import ShardError, SimulationError
+from repro.errors import (
+    ShardError,
+    SimulationError,
+    RpcTimeoutError,
+    WorkerCrashedError,
+)
 from repro.graph import powerlaw_cluster
 from repro.partition import MetisLitePartitioner
-from repro.ppr import forward_push_parallel
+from repro.ppr import DegradationMode, forward_push_parallel
 from repro.ppr.distributed import OptLevel, distributed_sppr_query
-from repro.simt import Scheduler, Sleep, Wait
+from repro.rpc import RetryPolicy, RpcContext
+from repro.rpc.thread_runtime import ThreadRuntime
+from repro.simt import (
+    CrashWindow,
+    FaultPlan,
+    NetworkModel,
+    Scheduler,
+    Sleep,
+    Wait,
+)
 from repro.simt.sync import SimBarrier
 from repro.storage import DistGraphStorage, build_shards
 
@@ -212,3 +226,282 @@ class TestSimBarrier:
         assert barrier.n_waiting == 0
         barrier.arrive(0.0)
         assert barrier.n_waiting == 1
+
+
+class Echo:
+    """Trivial remote object for RPC fault tests."""
+
+    def ping(self, x):
+        return 2 * x
+
+
+def run_echo_on_scheduler(plan, policy, n_calls):
+    """N sequential remote echo calls on the virtual-time runtime."""
+    sched = Scheduler()
+    ctx = RpcContext(sched, NetworkModel(), fault_plan=plan,
+                     retry_policy=policy)
+    ctx.register_server("s0", 0)
+    rref = ctx.create_remote("s0", "echo", Echo)
+    values = []
+
+    def body():
+        for i in range(n_calls):
+            values.append((yield Wait(rref.rpc_async("w1", "ping", i))))
+
+    proc = sched.spawn("w1", body())
+    ctx.register_worker("w1", 1, proc)
+    sched.run()
+    return ctx, values
+
+
+def run_echo_on_threads(plan, policy, n_calls):
+    """The same echo workload on the real-thread runtime."""
+    rt = ThreadRuntime(fault_plan=plan, retry_policy=policy)
+    rt.register_server("s0", 0)
+    rref = rt.create_remote("s0", "echo", Echo)
+    rt.register_worker("w1", 1)
+    values = []
+
+    def body():
+        for i in range(n_calls):
+            values.append((yield Wait(rref.rpc_async("w1", "ping", i))))
+
+    rt.spawn("w1", body())
+    rt.join()
+    rt.shutdown()
+    return rt, values
+
+
+class TestFaultPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_prob=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(latency_spike_prob=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(slow_machines={0: 0.5})
+        with pytest.raises(ValueError):
+            CrashWindow(server="s0", crash_at=2.0, recover_at=1.0)
+
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert plan.is_empty()
+        assert not FaultPlan(drop_prob=0.1).is_empty()
+        assert not FaultPlan(
+            crashes=(CrashWindow(server="s0", crash_at=0.0),)
+        ).is_empty()
+
+    def test_rolls_are_pure_functions_of_key(self):
+        plan = FaultPlan(seed=11, drop_prob=0.5)
+        rolls = [plan.roll_drop("w1", i, 1) for i in range(64)]
+        assert rolls == [plan.roll_drop("w1", i, 1) for i in range(64)]
+        assert any(rolls) and not all(rolls)
+        # different seeds decorrelate
+        other = FaultPlan(seed=12, drop_prob=0.5)
+        assert rolls != [other.roll_drop("w1", i, 1) for i in range(64)]
+
+    def test_crash_window_coverage(self):
+        win = CrashWindow(server="s0", crash_at=1.0, recover_at=2.0)
+        plan = FaultPlan(crashes=(win,))
+        assert not plan.is_crashed("s0", 0.5)
+        assert plan.is_crashed("s0", 1.0)
+        assert plan.is_crashed("s0", 1.5)
+        assert not plan.is_crashed("s0", 2.0)
+        assert not plan.is_crashed("s1", 1.5)
+
+
+class TestRpcFaultInjection:
+    PLAN = FaultPlan(seed=5, drop_prob=0.3)
+    POLICY = RetryPolicy(max_attempts=6, timeout=0.05)
+
+    def test_retry_then_succeed_on_scheduler(self):
+        ctx, values = run_echo_on_scheduler(self.PLAN, self.POLICY, 24)
+        assert values == [2 * i for i in range(24)]
+        assert ctx.retries > 0
+        assert ctx.timeouts > 0
+        assert ctx.dropped_messages == ctx.timeouts
+
+    def test_deterministic_replay_across_runtimes(self):
+        """The same fault plan replays identically in virtual time and on
+        real threads: drop decisions are keyed on (seed, caller, call
+        index, attempt), never on time or arrival order."""
+        a, values_a = run_echo_on_scheduler(self.PLAN, self.POLICY, 24)
+        b, values_b = run_echo_on_scheduler(self.PLAN, self.POLICY, 24)
+        t, values_t = run_echo_on_threads(self.PLAN, self.POLICY, 24)
+        counters = lambda c: (c.retries, c.timeouts, c.dropped_messages)
+        assert counters(a) == counters(b) == counters(t)
+        assert values_a == values_b == values_t
+
+    def test_retry_exhausted_raises_timeout(self):
+        plan = FaultPlan(seed=0, drop_prob=1.0)
+        policy = RetryPolicy(max_attempts=3, timeout=0.01)
+        sched = Scheduler()
+        ctx = RpcContext(sched, NetworkModel(), fault_plan=plan,
+                         retry_policy=policy)
+        ctx.register_server("s0", 0)
+        rref = ctx.create_remote("s0", "echo", Echo)
+        caught = []
+
+        def body():
+            try:
+                yield Wait(rref.rpc_async("w1", "ping", 1))
+            except RpcTimeoutError as exc:
+                caught.append(exc)
+
+        proc = sched.spawn("w1", body())
+        ctx.register_worker("w1", 1, proc)
+        sched.run()
+        assert len(caught) == 1 and "3 attempt" in str(caught[0])
+        assert ctx.dropped_messages == 3
+        assert ctx.timeouts == 3
+        assert ctx.retries == 2
+
+    def test_retry_exhausted_raises_timeout_on_threads(self):
+        plan = FaultPlan(seed=0, drop_prob=1.0)
+        policy = RetryPolicy(max_attempts=3, timeout=0.01)
+        with pytest.raises(RpcTimeoutError, match="3 attempt"):
+            run_echo_on_threads(plan, policy, 1)
+
+    def test_crash_then_recover_within_retry_horizon(self):
+        plan = FaultPlan(seed=3, crashes=(
+            CrashWindow(server="s0", crash_at=0.0, recover_at=0.02),
+        ))
+        policy = RetryPolicy(max_attempts=10, timeout=0.005)
+        ctx, values = run_echo_on_scheduler(plan, policy, 4)
+        assert values == [0, 2, 4, 6]
+        assert ctx.retries > 0
+        assert ctx.timeouts > 0
+        assert ctx.dropped_messages == 0  # crashes lose replies, not sends
+
+    def test_permanent_crash_raises_worker_crashed(self):
+        plan = FaultPlan(seed=3, crashes=(
+            CrashWindow(server="s0", crash_at=0.0),
+        ))
+        policy = RetryPolicy(max_attempts=3, timeout=0.005)
+        sched = Scheduler()
+        ctx = RpcContext(sched, NetworkModel(), fault_plan=plan,
+                         retry_policy=policy)
+        ctx.register_server("s0", 0)
+        rref = ctx.create_remote("s0", "echo", Echo)
+        caught = []
+
+        def body():
+            try:
+                yield Wait(rref.rpc_async("w1", "ping", 1))
+            except WorkerCrashedError as exc:
+                caught.append(exc)
+
+        proc = sched.spawn("w1", body())
+        ctx.register_worker("w1", 1, proc)
+        sched.run()
+        assert len(caught) == 1 and "crash" in str(caught[0])
+
+    def test_local_calls_bypass_fault_injection(self):
+        """Same-machine calls never traverse the lossy network."""
+        plan = FaultPlan(seed=0, drop_prob=1.0)
+        sched = Scheduler()
+        ctx = RpcContext(sched, NetworkModel(), fault_plan=plan)
+        ctx.register_server("s0", 0)
+        rref = ctx.create_remote("s0", "echo", Echo)
+        values = []
+
+        def body():
+            values.append((yield Wait(rref.rpc_async("w1", "ping", 21))))
+
+        proc = sched.spawn("w1", body())
+        ctx.register_worker("w1", 0, proc)  # machine 0 == server machine
+        sched.run()
+        assert values == [42]
+        assert ctx.dropped_messages == 0
+
+    def test_slow_machine_and_link_latency_shape_transfers(self):
+        net = NetworkModel()
+        plan = FaultPlan(seed=0, slow_machines={1: 4.0},
+                         link_latency={(0, 1): 0.003})
+        base = net.transfer_time(10_000, 1)
+        shaped = net.transfer_time_under(
+            plan, 10_000, 1, src_machine=0, dst_machine=1,
+            caller="w1", call_index=0, attempt=1,
+        )
+        assert shaped == pytest.approx(4.0 * base + 0.003)
+        # the reverse direction still pays the slow endpoint
+        reverse = net.transfer_time_under(
+            plan, 10_000, 1, src_machine=1, dst_machine=0,
+            caller="w1", call_index=0, attempt=1,
+        )
+        assert reverse == pytest.approx(4.0 * base)
+
+
+class TestEngineFaultTolerance:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        graph = powerlaw_cluster(600, 6, mixing=0.2, seed=2)
+        return GraphEngine(graph, EngineConfig(n_machines=2))
+
+    def test_empty_plan_keeps_fast_path(self, engine):
+        run = engine.run(RunRequest(n_queries=4, fault_plan=FaultPlan()))
+        assert run.retries == run.timeouts == run.dropped_messages == 0
+        assert run.degraded_queries == 0
+
+    def test_engine_counters_replay_byte_identical(self, engine):
+        req = RunRequest(n_queries=6,
+                         fault_plan=FaultPlan(seed=9, drop_prob=0.2),
+                         retry_policy=RetryPolicy(max_attempts=8))
+        a = engine.run(req)
+        b = engine.run(req)
+        assert a.retries > 0 and a.timeouts > 0 and a.dropped_messages > 0
+        assert (a.retries, a.timeouts, a.dropped_messages,
+                a.degraded_queries, a.abandoned_mass) == \
+               (b.retries, b.timeouts, b.dropped_messages,
+                b.degraded_queries, b.abandoned_mass)
+
+    def test_fail_fast_propagates_crash(self, engine):
+        plan = FaultPlan(seed=1, crashes=(
+            CrashWindow(server="server:1", crash_at=0.0),
+        ))
+        with pytest.raises(WorkerCrashedError):
+            engine.run(RunRequest(
+                n_queries=6, fault_plan=plan,
+                retry_policy=RetryPolicy(max_attempts=2, timeout=0.01),
+            ))
+
+    def test_skip_remote_bounds_accuracy_loss(self, engine):
+        params = PPRParams(epsilon=1e-5)
+        plan = FaultPlan(seed=1, crashes=(
+            CrashWindow(server="server:1", crash_at=0.0),
+        ))
+        run = engine.run(RunRequest(
+            n_queries=6, params=params, fault_plan=plan,
+            retry_policy=RetryPolicy(max_attempts=2, timeout=0.01),
+            degradation=DegradationMode.SKIP_REMOTE, keep_states=True,
+        ))
+        assert run.degraded_queries > 0
+        assert run.abandoned_mass > 0
+        graph = engine.graph
+        push_bound = 2 * params.epsilon * graph.weighted_degrees.sum()
+        degraded = 0
+        for gid, state in run.states.items():
+            # mass conservation: estimate + live residual + written-off
+            n = len(state.map)
+            total = (state.ppr[:n].sum() + state.residual[:n].sum()
+                     + state.abandoned_mass)
+            assert total == pytest.approx(1.0, abs=1e-9)
+            # abandoned residual bounds the extra L1 error
+            ref, _, _ = forward_push_parallel(graph, gid, params)
+            dense = state.dense_result(engine.sharded, graph.n_nodes)
+            err = np.abs(dense - ref).sum()
+            assert err <= push_bound + state.abandoned_mass + 1e-9
+            degraded += state.skipped_fetches > 0
+        assert degraded == run.degraded_queries
+
+    def test_crash_recover_mid_batch_succeeds(self, engine):
+        plan = FaultPlan(seed=2, crashes=(
+            CrashWindow(server="server:1", crash_at=0.0, recover_at=0.02),
+        ))
+        run = engine.run(RunRequest(
+            n_queries=6, fault_plan=plan,
+            retry_policy=RetryPolicy(max_attempts=10, timeout=0.005),
+        ))
+        assert run.retries > 0
+        assert run.degraded_queries == 0
+        assert run.n_queries == 6
