@@ -32,6 +32,7 @@ paper-vs-measured record of every table and figure.
 """
 
 from repro.engine import EngineConfig, GraphEngine, QueryRunResult, RunRequest
+from repro.obs import MetricsRegistry, Obs, SpanTracer
 from repro.errors import (
     ReproError,
     RpcError,
@@ -75,6 +76,8 @@ __all__ = [
     "GraphShard",
     "HashPartitioner",
     "MetisLitePartitioner",
+    "MetricsRegistry",
+    "Obs",
     "OptLevel",
     "PPRParams",
     "QueryRunResult",
@@ -87,6 +90,7 @@ __all__ = [
     "SSPPR",
     "ShardedGraph",
     "SimulationError",
+    "SpanTracer",
     "WorkerCrashedError",
     "__version__",
     "build_shards",

@@ -7,7 +7,8 @@ Downstream-friendly entry points for the preprocessing / query pipeline:
 * ``query``      — run an SSPPR batch against a graph or saved shards;
 * ``walk``       — run distributed random walks;
 * ``bench``      — a one-shot engine-vs-baselines comparison;
-* ``chaos``      — a clean-vs-faulty run under an injected fault plan.
+* ``chaos``      — a clean-vs-faulty run under an injected fault plan;
+* ``profile``    — run a traced batch and export a Chrome trace + metrics.
 
 Graphs are referenced either by stand-in dataset name
 (``products|twitter|friendster|papers``, with ``--scale``) or by a ``.npz``
@@ -187,6 +188,35 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Traced run: Chrome trace JSON out, metrics table to stdout."""
+    from repro.obs import text_table, write_chrome_trace
+
+    engine = _engine_from_args(args)
+    params = PPRParams(alpha=args.alpha, epsilon=args.epsilon)
+    run = engine.run(RunRequest(
+        n_queries=args.queries, params=params, seed=args.seed,
+        mode=args.mode, trace=True, trace_rpc=True,
+    ))
+    cfg = engine.config
+    machine_of = {cfg.server_name(m): m for m in range(cfg.n_machines)}
+    machine_of.update({
+        cfg.worker_name(m, p): m
+        for m in range(cfg.n_machines) for p in range(cfg.procs_per_machine)
+    })
+    path = write_chrome_trace(args.out, run.obs.tracer, machine_of)
+    n_spans = len(run.obs.tracer)
+    n_rpc = len(run.obs.tracer.by_kind("client"))
+    print(f"{run.n_queries} queries traced: {n_spans} spans "
+          f"({n_rpc} RPC client/server pairs) -> {path}")
+    print(f"open in chrome://tracing or https://ui.perfetto.dev")
+    print(text_table(run.metrics, title="metrics"))
+    print("phases: " + ", ".join(
+        f"{k}={v * 1e3:.2f}ms" for k, v in run.phases.items()
+    ))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__.splitlines()[0]
@@ -259,6 +289,18 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=[m.value for m in DegradationMode],
                    help="what a query does when retries are exhausted")
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser("profile",
+                       help="traced run -> Chrome trace JSON + metrics")
+    add_engine_args(p)
+    p.add_argument("--queries", type=int, default=8)
+    p.add_argument("--alpha", type=float, default=0.462)
+    p.add_argument("--epsilon", type=float, default=1e-6)
+    p.add_argument("--mode", default="engine",
+                   choices=("engine", "tensor", "batched"))
+    p.add_argument("--out", default="trace.json",
+                   help="Chrome trace_event JSON output path")
+    p.set_defaults(fn=cmd_profile)
     return parser
 
 

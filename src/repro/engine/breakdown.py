@@ -11,6 +11,13 @@ Table 3 report four phases:
 * **push**         = the PPR operators' update time;
 * **pop**          = activated-set retrieval (negligible for the hashmap
   engine, |V|-proportional for the tensor baseline).
+
+Runs against a faulty deployment add a fifth phase, **crashed** — time a
+computing process spent blocked on a call that ultimately failed with
+:class:`~repro.errors.WorkerCrashedError`.  Before this category existed,
+that time was silently folded into ``wait`` (inflating ``remote_fetch``
+with outage time); the total is conserved either way, which
+``tests/test_obs.py`` asserts.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ PHASES: dict[str, tuple[str, ...]] = {
     "remote_fetch": ("rpc_issue", "wait"),
     "push": ("push",),
     "pop": ("pop",),
+    "crashed": ("crashed",),
 }
 
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.engine.config import EngineConfig
 from repro.errors import SimulationError
+from repro.obs import Obs
 from repro.rpc.api import RpcContext
 from repro.rpc.rref import RRef
 from repro.simt.scheduler import Scheduler
@@ -26,7 +27,7 @@ class SimCluster:
 
     def __init__(self, sharded: ShardedGraph, config: EngineConfig, *,
                  trace_rpc: bool | None = None, fault_plan=None,
-                 retry_policy=None) -> None:
+                 retry_policy=None, trace: bool | None = None) -> None:
         if sharded.n_shards != config.n_shards:
             raise SimulationError(
                 f"graph has {sharded.n_shards} shards but config expects "
@@ -42,9 +43,14 @@ class SimCluster:
             tracer = RpcTracer()
         if retry_policy is None:
             retry_policy = config.retry_policy
+        #: observability bundle shared by this deployment's RPC layer and
+        #: every process spawned into it
+        self.obs = Obs.create(
+            trace=config.trace_spans if trace is None else trace
+        )
         self.ctx = RpcContext(self.scheduler, config.network, tracer=tracer,
                               fault_plan=fault_plan,
-                              retry_policy=retry_policy)
+                              retry_policy=retry_policy, obs=self.obs)
         self.rrefs: list[RRef] = []
         self._compute_names: list[str] = []
         self._bring_up()
@@ -69,6 +75,7 @@ class SimCluster:
         """
         name = self.config.worker_name(machine, proc_index)
         proc = self.scheduler.spawn(name, body)
+        proc.tracer = self.obs.tracer
         self.ctx.register_worker(name, machine, proc)
         self._compute_names.append(name)
         if self.config.colocate_server and proc_index == 0:

@@ -35,6 +35,10 @@ class EngineConfig:
     #: attach an RpcTracer to the cluster (per-call communication records,
     #: exposed on QueryRunResult.trace)
     trace_rpc: bool = False
+    #: attach a SpanTracer (nested per-process spans + linked RPC
+    #: client/server pairs, exportable as a Chrome trace); per-run override
+    #: via ``RunRequest(trace=...)``
+    trace_spans: bool = False
     #: deployment-wide timeout/retry/backoff default for remote calls;
     #: ``None`` keeps the zero-overhead dispatch path.  Per-run overrides
     #: travel on :class:`~repro.engine.request.RunRequest`.

@@ -69,6 +69,13 @@ class QueryRunResult:
     dropped_messages: int = 0     # requests lost on the injected network
     degraded_queries: int = 0     # queries that abandoned >= 1 remote fetch
     abandoned_mass: float = 0.0   # total residual written off by skip_remote
+    #: flat MetricsRegistry snapshot (rpc.* counters, rpc.latency
+    #: percentiles, engine.* gauges) — identical counter values on the
+    #: virtual-time scheduler and the thread runtime
+    metrics: dict = field(repr=False, default_factory=dict)
+    #: the run's Obs bundle; ``obs.tracer`` holds the spans when
+    #: ``RunRequest(trace=True)`` (export with repro.obs.write_chrome_trace)
+    obs: object = field(repr=False, default=None)
 
     def latency_percentiles(self, q=(50, 90, 99)) -> dict[float, float]:
         """Virtual per-query latency percentiles in seconds.
@@ -145,7 +152,8 @@ class GraphEngine:
         cluster = SimCluster(self.sharded, cfg,
                              trace_rpc=request.trace_rpc,
                              fault_plan=request.fault_plan,
-                             retry_policy=request.resolved_retry_policy())
+                             retry_policy=request.resolved_retry_policy(),
+                             trace=request.trace)
         assignment = assign_queries(self.sharded, sources,
                                     cfg.procs_per_machine)
         states: dict[int, object] = {}
@@ -190,6 +198,18 @@ class GraphEngine:
             cluster.scheduler.result_of(p.name)
         phases = aggregate_breakdowns([p.breakdown for p in procs])
         ctx = cluster.ctx
+        obs = cluster.obs
+        obs.metrics.inc("engine.queries", len(sources))
+        obs.metrics.inc("engine.degraded_queries",
+                        fault_stats["degraded_queries"])
+        obs.metrics.set("engine.makespan", makespan)
+        for state in states.values():
+            # operator-work counts (pure counts — runtime-independent)
+            if hasattr(state, "stats"):
+                for key, val in state.stats().items():
+                    obs.metrics.inc(key, int(val))
+        if ctx.tracer is not None:
+            ctx.tracer.publish(obs.metrics)
         return QueryRunResult(
             n_queries=len(sources),
             makespan=makespan,
@@ -206,6 +226,8 @@ class GraphEngine:
             dropped_messages=ctx.dropped_messages,
             degraded_queries=fault_stats["degraded_queries"],
             abandoned_mass=fault_stats["abandoned_mass"],
+            metrics=obs.metrics.snapshot(),
+            obs=obs,
         )
 
     def run_queries(self, n_queries: int | None = None, *,
@@ -393,6 +415,9 @@ class _late_proc:
 
     def measured(self, category: str):
         return self._resolve().measured(category)
+
+    def span(self, name: str, **attrs):
+        return self._resolve().span(name, **attrs)
 
     def charge_seconds(self, dt: float, category: str = "other") -> None:
         self._resolve().charge_seconds(dt, category)

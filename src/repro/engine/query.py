@@ -92,9 +92,10 @@ def multi_query_driver(g: DistGraphStorage, proc, sources_global: np.ndarray,
         )
     for gid, lid in zip(sources_global.tolist(), local_ids.tolist()):
         started = proc.clock
-        state = yield from distributed_sppr_query(
-            g, proc, lid, params, opt=opt, degradation=degradation
-        )
+        with proc.span("query", source=gid):
+            state = yield from distributed_sppr_query(
+                g, proc, lid, params, opt=opt, degradation=degradation
+            )
         if latencies is not None:
             latencies[gid] = proc.clock - started
         if fault_stats is not None and state.skipped_fetches > 0:
@@ -122,7 +123,8 @@ def multi_query_batched_driver(g: DistGraphStorage, proc,
         raise SimulationError(
             "owner-compute violation: driver received foreign sources"
         )
-    multi = yield from distributed_multi_query(g, proc, local_ids, params)
+    with proc.span("query_batch", n_queries=len(sources_global)):
+        multi = yield from distributed_multi_query(g, proc, local_ids, params)
     if collect is not None:
         for qid, gid in enumerate(sources_global.tolist()):
             collect[gid] = MultiQueryResultView(multi, qid)
@@ -176,9 +178,10 @@ def multi_query_tensor_driver(g: DistGraphStorage, proc,
             "owner-compute violation: driver received foreign sources"
         )
     for gid in sources_global.tolist():
-        state = yield from distributed_tensor_query(
-            g, proc, gid, params, sharded.owner_local, sharded.owner_shard
-        )
+        with proc.span("query", source=gid, mode="tensor"):
+            state = yield from distributed_tensor_query(
+                g, proc, gid, params, sharded.owner_local, sharded.owner_shard
+            )
         if collect is not None:
             collect[gid] = state
     return len(sources_global)

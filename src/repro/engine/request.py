@@ -61,6 +61,12 @@ class RunRequest:
     trace_rpc:
         Attach an :class:`~repro.rpc.tracing.RpcTracer` override; the
         config's flag when ``None``.
+    trace:
+        Attach a :class:`~repro.obs.SpanTracer` recording nested per-process
+        spans (queries, pop/push/serve, linked RPC client/server pairs) on
+        the virtual timeline; the config's ``trace_spans`` when ``None``.
+        Export with :func:`repro.obs.write_chrome_trace` or
+        ``repro.cli profile``.
     fault_plan:
         Injected faults for this run (chaos testing); ``None`` = healthy.
     retry_policy:
@@ -80,6 +86,7 @@ class RunRequest:
     keep_states: bool = False
     seed: int | None = None
     trace_rpc: bool | None = None
+    trace: bool | None = None
     fault_plan: FaultPlan | None = None
     retry_policy: RetryPolicy | None = None
     degradation: DegradationMode = DegradationMode.FAIL_FAST

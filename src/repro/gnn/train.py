@@ -69,40 +69,42 @@ def gnn_training_driver(g: DistGraphStorage, feats: DistFeatureStore, proc,
         np.concatenate(ego_batches) if ego_batches else np.empty(0, np.int64)
     )
     offset = 0
-    for step, egos in enumerate(ego_batches):
-        # (1) top-K SSPPR per ego through the PPR engine
-        node_sets = []
-        for i in range(len(egos)):
-            lid = int(local_ids[offset + i])
-            state = yield from distributed_sppr_query(
-                g, proc, lid, params, opt=OptLevel.OVERLAP
-            )
-            node_sets.append(topk_ppr_nodes(state, sharded, topk,
-                                            include=egos[i:i + 1]))
-        offset += len(egos)
-        node_set = np.unique(np.concatenate(node_sets))
+    with proc.span("train_epoch", n_steps=len(ego_batches)):
+        for step, egos in enumerate(ego_batches):
+            with proc.span("train_step", step=step):
+                # (1) top-K SSPPR per ego through the PPR engine
+                node_sets = []
+                for i in range(len(egos)):
+                    lid = int(local_ids[offset + i])
+                    state = yield from distributed_sppr_query(
+                        g, proc, lid, params, opt=OptLevel.OVERLAP
+                    )
+                    node_sets.append(topk_ppr_nodes(state, sharded, topk,
+                                                    include=egos[i:i + 1]))
+                offset += len(egos)
+                node_set = np.unique(np.concatenate(node_sets))
 
-        # (2) convert_batch: induced subgraph + cross-machine features
-        batch: Batch = yield from convert_batch(
-            sharded, g, feats, node_set, egos, labels[egos]
-        )
+                # (2) convert_batch: induced subgraph + cross-machine features
+                batch: Batch = yield from convert_batch(
+                    sharded, g, feats, node_set, egos, labels[egos]
+                )
 
-        # (3) local forward/backward
-        model.zero_grad()
-        with proc.measured("train_compute"):
-            loss, acc = model.loss_and_grad(batch)
+                # (3) local forward/backward
+                model.zero_grad()
+                with proc.measured("train_compute"):
+                    loss, acc = model.loss_and_grad(batch)
 
-        # (4) DDP gradient synchronization
-        flat = model.flatten_grads()
-        mean_grad = yield Wait(ctx.allreduce_mean(
-            f"ddp:step{step}", worker_name, world_size, flat
-        ))
-        model.load_flat_grads(mean_grad)
+                # (4) DDP gradient synchronization
+                flat = model.flatten_grads()
+                mean_grad = yield Wait(ctx.allreduce_mean(
+                    f"ddp:step{step}", worker_name, world_size, flat
+                ))
+                model.load_flat_grads(mean_grad)
 
-        # (5) replicas apply identical averaged gradients
-        with proc.measured("train_compute"):
-            optimizer.step()
-        records.append((step, loss, acc))
+                # (5) replicas apply identical averaged gradients
+                with proc.measured("train_compute"):
+                    optimizer.step()
+            records.append((step, loss, acc))
     return len(ego_batches)
 
 

@@ -1,0 +1,62 @@
+"""``repro.obs`` — the unified observability layer.
+
+One :class:`Obs` bundle travels with every deployment (virtual-time cluster
+or thread runtime): a process-safe :class:`MetricsRegistry` that every layer
+increments under the same instrument names, and an optional
+:class:`SpanTracer` recording nested per-process spans with linked RPC
+client/server pairs.  Exporters turn a finished run into a Chrome
+``trace_event`` JSON (:func:`chrome_trace` / :func:`write_chrome_trace`), a
+flat stats dict (:func:`flat_stats`), or a CLI text table
+(:func:`text_table`).
+
+The design contract the differential tests enforce: the *identical* counters
+appear whether a run used the virtual-time scheduler or the real-thread
+runtime, because both increment this registry at the same logical points.
+
+See ``docs/observability.md`` for the span-name / Figure 6 phase mapping
+and a ``repro.cli profile`` walkthrough.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.export import chrome_trace, flat_stats, text_table, write_chrome_trace
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.spans import Span, SpanTracer
+
+
+@dataclass
+class Obs:
+    """One run's observability bundle: metrics always, spans when asked."""
+
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    tracer: SpanTracer | None = None
+
+    @classmethod
+    def create(cls, trace: bool = False) -> "Obs":
+        """A fresh bundle; ``trace=True`` attaches a span tracer."""
+        return cls(metrics=MetricsRegistry(),
+                   tracer=SpanTracer() if trace else None)
+
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Obs",
+    "Span",
+    "SpanTracer",
+    "chrome_trace",
+    "flat_stats",
+    "text_table",
+    "write_chrome_trace",
+]

@@ -114,7 +114,8 @@ def distributed_sppr_query(g: DistGraphStorage, proc, source_local: int,
                     int(shard_ids[i]), int(node_ids[i])
                 )
                 try:
-                    infos = yield Wait(fut)
+                    with proc.span("fetch", shard=int(shard_ids[i])):
+                        infos = yield Wait(fut)
                 except TRANSPORT_ERRORS:
                     if not skip:
                         raise
@@ -139,7 +140,8 @@ def distributed_sppr_query(g: DistGraphStorage, proc, source_local: int,
         if not opt.overlapped:
             for j, fut in futs.items():
                 try:
-                    remote_infos[j] = yield Wait(fut)
+                    with proc.span("fetch", shard=j):
+                        remote_infos[j] = yield Wait(fut)
                 except TRANSPORT_ERRORS:
                     if not skip:
                         raise
@@ -156,7 +158,8 @@ def distributed_sppr_query(g: DistGraphStorage, proc, source_local: int,
             jm = masks[j]
             if opt.overlapped:
                 try:
-                    infos = yield Wait(futs[j])
+                    with proc.span("fetch", shard=j):
+                        infos = yield Wait(futs[j])
                 except TRANSPORT_ERRORS:
                     if not skip:
                         raise

@@ -204,6 +204,21 @@ class SSPPR:
         return lost
 
     # -- results ------------------------------------------------------------
+    def stats(self) -> dict[str, float]:
+        """Operator statistics, named for the ``ppr.*`` metrics namespace.
+
+        The engine sums these across collected query states into its
+        :class:`~repro.obs.MetricsRegistry`; they are pure counts of operator
+        work, so the totals are runtime-independent.
+        """
+        return {
+            "ppr.pushes": self.n_pushes,
+            "ppr.entries": self.n_entries_processed,
+            "ppr.iterations": self.n_iterations,
+            "ppr.touched": self.n_touched,
+            "ppr.skipped_fetches": self.skipped_fetches,
+        }
+
     @property
     def n_touched(self) -> int:
         """Number of distinct nodes that ever received mass."""

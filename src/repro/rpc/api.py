@@ -18,6 +18,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.errors import RpcError, RpcTimeoutError, WorkerCrashedError
+from repro.obs import Obs
 from repro.rpc.retry import RetryPolicy
 from repro.rpc.rref import RRef
 from repro.rpc.serialization import payload_sizes
@@ -43,9 +44,13 @@ class RpcContext:
 
     def __init__(self, scheduler: Scheduler, network: NetworkModel,
                  tracer=None, *, fault_plan: FaultPlan | None = None,
-                 retry_policy: RetryPolicy | None = None) -> None:
+                 retry_policy: RetryPolicy | None = None,
+                 obs: Obs | None = None) -> None:
         self.scheduler = scheduler
         self.network = network
+        #: observability bundle — the registry is always live (cheap), the
+        #: span tracer only when the deployment asked for tracing
+        self.obs = obs if obs is not None else Obs()
         self._workers: dict[str, WorkerInfo] = {}
         self._processes: dict[str, SimProcess] = {}
         self._servers: dict[str, RpcServer] = {}
@@ -134,6 +139,8 @@ class RpcContext:
         caller_machine = self.worker_info(caller_name).machine_id
         owner_machine = self.worker_info(rref.owner_name).machine_id
         server = self.server_of(rref.owner_name)
+        metrics = self.obs.metrics
+        metrics.inc("rpc.calls")
 
         if self.tracer is not None:
             from repro.rpc.tracing import RpcCallRecord
@@ -150,6 +157,7 @@ class RpcContext:
         if caller_machine == owner_machine:
             # Shared-memory path: invoke directly on the caller's timeline.
             self.local_calls += 1
+            metrics.inc("rpc.calls_local")
             caller.charge_seconds(self.network.local_call_overhead, "local_call")
             fn = server.resolve_method(rref.key, method)
             with caller.measured("local_exec"):
@@ -159,9 +167,38 @@ class RpcContext:
 
         # Remote path: async issue, modeled transfer, FIFO service, reply.
         self.remote_requests += 1
-        caller.charge_seconds(self.network.send_overhead(), "rpc_issue")
         req_bytes, req_tensors = payload_sizes([list(args), kwargs])
+        metrics.inc("rpc.calls_remote")
+        metrics.inc("rpc.request_bytes", req_bytes)
+        issued_at = caller.clock
+        caller.charge_seconds(self.network.send_overhead(), "rpc_issue")
         fut = SimFuture(tag=f"rpc:{rref.owner_name}.{method}")
+
+        # Client span: reserved now so the server span can link to it, and
+        # recorded when the future resolves (its virtual ready time is the
+        # span's end).  The virtual round-trip also feeds the latency
+        # histogram regardless of tracing.
+        span_tracer = self.obs.tracer
+        client_id = None
+        if span_tracer is not None:
+            client_id = span_tracer.next_id()
+            parent_id = span_tracer.current(caller_name)
+            owner_name = rref.owner_name
+
+            def record_client(f: SimFuture) -> None:
+                attrs = {"owner": owner_name, "method": method}
+                if f.exception is not None:
+                    attrs["error"] = type(f.exception).__name__
+                span_tracer.record(
+                    f"rpc:{method}", caller_name, issued_at, f.ready_time,
+                    span_id=client_id, parent_id=parent_id, kind="client",
+                    attrs=attrs,
+                )
+
+            fut.add_done_callback(record_client)
+        fut.add_done_callback(
+            lambda f: metrics.observe("rpc.latency", f.ready_time - issued_at)
+        )
 
         if self.retry_policy is None and self.fault_plan is None:
             # Healthy fast path: identical to the pre-fault-layer engine.
@@ -170,14 +207,17 @@ class RpcContext:
 
             def deliver() -> None:
                 try:
-                    result, _start, end = server.serve(arrival, rref.key,
-                                                       method, args, kwargs)
+                    result, start, end = server.serve(arrival, rref.key,
+                                                      method, args, kwargs)
                 except BaseException as exc:  # handler failure travels back
                     fut.set_exception(
                         exc, arrival + self.network.transfer_time(64, 0)
                     )
                     return
+                self._record_server_span(rref.owner_name, method, start, end,
+                                         client_id, caller_name)
                 resp_bytes, resp_tensors = payload_sizes(result)
+                metrics.inc("rpc.response_bytes", resp_bytes)
                 ready = end + self.network.transfer_time(resp_bytes,
                                                          resp_tensors)
                 fut.set_result(result, ready)
@@ -187,16 +227,28 @@ class RpcContext:
 
         self._dispatch_with_retries(
             fut, caller_name, caller, rref, server, method, args, kwargs,
-            caller_machine, owner_machine, req_bytes, req_tensors,
+            caller_machine, owner_machine, req_bytes, req_tensors, client_id,
         )
         return fut
+
+    def _record_server_span(self, owner_name: str, method: str, start: float,
+                            end: float, client_id: int | None,
+                            caller_name: str) -> None:
+        """Record the service-side span, linked to the client span's id."""
+        if self.obs.tracer is None:
+            return
+        self.obs.tracer.record(
+            f"serve:{method}", owner_name, start, end, kind="server",
+            link=client_id, attrs={"caller": caller_name, "method": method},
+        )
 
     def _dispatch_with_retries(self, fut: SimFuture, caller_name: str,
                                caller: SimProcess, rref: RRef,
                                server: RpcServer, method: str, args: tuple,
                                kwargs: dict, caller_machine: int,
                                owner_machine: int, req_bytes: int,
-                               req_tensors: int) -> None:
+                               req_tensors: int,
+                               client_id: int | None = None) -> None:
         """Run one logical remote call through the timeout/retry machinery.
 
         Each attempt either delivers (request survives the network, the
@@ -210,6 +262,7 @@ class RpcContext:
         plan = self.fault_plan if self.fault_plan is not None else FaultPlan()
         policy = (self.retry_policy if self.retry_policy is not None
                   else RetryPolicy())
+        metrics = self.obs.metrics
         call_index = self._call_indices.get(caller_name, 0)
         self._call_indices[caller_name] = call_index + 1
         owner_name = rref.owner_name
@@ -221,11 +274,13 @@ class RpcContext:
                 return
             if n > 1:
                 self.retries += 1
+                metrics.inc("rpc.retries")
                 self._trace_fault("retry", caller_name, owner_name, method,
                                   n, send_time)
             deadline = send_time + policy.timeout
             if plan.roll_drop(caller_name, call_index, n):
                 self.dropped_messages += 1
+                metrics.inc("rpc.dropped_messages")
                 last_failure["cause"] = "drop"
                 self._trace_fault("drop", caller_name, owner_name, method,
                                   n, send_time)
@@ -246,14 +301,17 @@ class RpcContext:
                                       method, n, self.scheduler.now)
                     return  # message lost on a dead server; timer handles it
                 try:
-                    result, _start, end = server.serve(arrival, rref.key,
-                                                       method, args, kwargs)
+                    result, start, end = server.serve(arrival, rref.key,
+                                                      method, args, kwargs)
                 except BaseException as exc:  # handler failure travels back
                     fut.set_exception(
                         exc, arrival + self.network.transfer_time(64, 0)
                     )
                     return
+                self._record_server_span(owner_name, method, start, end,
+                                         client_id, caller_name)
                 resp_bytes, resp_tensors = payload_sizes(result)
+                metrics.inc("rpc.response_bytes", resp_bytes)
                 ready = end + self.network.transfer_time_under(
                     plan, resp_bytes, resp_tensors,
                     src_machine=owner_machine, dst_machine=caller_machine,
@@ -273,6 +331,7 @@ class RpcContext:
             if fut.done:
                 return
             self.timeouts += 1
+            metrics.inc("rpc.timeouts")
             self._trace_fault("timeout", caller_name, owner_name, method,
                               n, deadline)
             if n >= policy.max_attempts:
@@ -285,6 +344,7 @@ class RpcContext:
                     exc = WorkerCrashedError(detail)
                 else:
                     exc = RpcTimeoutError(detail)
+                metrics.inc("rpc.giveups")
                 self._trace_fault("giveup", caller_name, owner_name, method,
                                   n, deadline)
                 fut.set_exception(exc, deadline)
@@ -299,6 +359,7 @@ class RpcContext:
 
     def _trace_fault(self, kind: str, caller: str, owner: str, method: str,
                      attempt: int, time: float) -> None:
+        self.obs.metrics.inc(f"rpc.faults.{kind}")
         if self.tracer is None:
             return
         from repro.rpc.tracing import RpcFaultRecord
@@ -320,6 +381,7 @@ class RpcContext:
         """
         if n_members <= 0:
             raise ValueError(f"n_members must be > 0, got {n_members}")
+        self.obs.metrics.inc("rpc.allreduce.calls")
         caller = self.process_of(caller_name)
         round_ = self._collectives.get(group)
         if round_ is None:

@@ -17,13 +17,16 @@ timing).
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future as _PyFuture
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Generator
 
 from repro.errors import RpcError, RpcTimeoutError, SimulationError
+from repro.obs import Obs
 from repro.rpc.retry import RetryPolicy
 from repro.rpc.rref import RRef
+from repro.rpc.serialization import payload_sizes
 from repro.rpc.worker import WorkerInfo
 from repro.simt.events import Charge, Sleep, Wait, WaitAll
 from repro.utils.timer import CategoryTimer
@@ -60,6 +63,9 @@ class ThreadProcess:
         self.timer = CategoryTimer(on_charge=self._advance)
         self.result: Any = None
         self.exception: BaseException | None = None
+        #: optional SpanTracer shared with the runtime's Obs bundle; thread
+        #: spans run on the accumulated-charge clock, not wall time
+        self.tracer = None
 
     def _advance(self, category: str, dt: float) -> None:
         self.clock += dt
@@ -68,7 +74,20 @@ class ThreadProcess:
         self.timer.charge_seconds(category, dt)
 
     def measured(self, category: str):
-        return self.timer.charge(category)
+        if self.tracer is None:
+            return self.timer.charge(category)
+        from repro.obs.spans import _TracedMeasure
+
+        return _TracedMeasure(self, category)
+
+    def span(self, name: str, **attrs):
+        """Logical span on this process's charged-seconds timeline."""
+        if self.tracer is None:
+            from contextlib import nullcontext
+
+            return nullcontext()
+        return self.tracer.span(self.name, name, lambda: self.clock,
+                                attrs or None)
 
     @property
     def breakdown(self):
@@ -120,11 +139,16 @@ class ThreadRuntime:
     the storage layer work unchanged.
     """
 
-    def __init__(self, *, fault_plan=None, retry_policy=None) -> None:
+    def __init__(self, *, fault_plan=None, retry_policy=None,
+                 obs: Obs | None = None) -> None:
         self._workers: dict[str, WorkerInfo] = {}
         self._processes: dict[str, ThreadProcess] = {}
         self._servers: dict[str, _ThreadServer] = {}
         self._threads: list[threading.Thread] = []
+        #: observability bundle; the counter names (and values, under a
+        #: drop-only FaultPlan) match RpcContext's — asserted by
+        #: tests/test_runtime_differential.py
+        self.obs = obs if obs is not None else Obs()
         self.remote_requests = 0
         self.local_calls = 0
         #: fault injection: the *same* FaultPlan drop decisions replay here
@@ -155,6 +179,7 @@ class ThreadRuntime:
                         process: ThreadProcess | None = None) -> ThreadProcess:
         self._register(name, machine_id)
         proc = process if process is not None else ThreadProcess(name)
+        proc.tracer = self.obs.tracer
         self._processes[name] = proc
         return proc
 
@@ -193,10 +218,19 @@ class ThreadRuntime:
         owner_machine = self.worker_info(rref.owner_name).machine_id
         server = self.server_of(rref.owner_name)
         fn = server.resolve_method(rref.key, method)
+        metrics = self.obs.metrics
+        metrics.inc("rpc.calls")
         if caller_machine == owner_machine:
             self.local_calls += 1
+            metrics.inc("rpc.calls_local")
             return ThreadFuture.resolved(fn(*args, **kwargs))
         self.remote_requests += 1
+        req_bytes, _ = payload_sizes([list(args), kwargs])
+        metrics.inc("rpc.calls_remote")
+        metrics.inc("rpc.request_bytes", req_bytes)
+        owner_name = rref.owner_name
+        serve = self._instrumented_serve(caller_name, owner_name, server,
+                                         method, fn, args, kwargs)
 
         plan = self.fault_plan
         if plan is not None and not plan.is_empty():
@@ -210,15 +244,24 @@ class ThreadRuntime:
                     if attempt > 1:
                         with self._fault_lock:
                             self.retries += 1
+                        metrics.inc("rpc.retries")
+                        metrics.inc("rpc.faults.retry")
                     if plan.roll_drop(caller_name, call_index, attempt):
                         # Lost request: in thread mode the timeout elapses
                         # logically (no real sleeping) and we retransmit.
+                        # Each drop implies one logical timeout firing — the
+                        # same accounting the virtual-time timers produce.
                         with self._fault_lock:
                             self.dropped_messages += 1
                             self.timeouts += 1
+                        metrics.inc("rpc.dropped_messages")
+                        metrics.inc("rpc.faults.drop")
+                        metrics.inc("rpc.timeouts")
+                        metrics.inc("rpc.faults.timeout")
                         continue
-                    server.requests_served += 1
-                    return fn(*args, **kwargs)
+                    return serve()
+                metrics.inc("rpc.giveups")
+                metrics.inc("rpc.faults.giveup")
                 raise RpcTimeoutError(
                     f"{caller_name} -> {rref.owner_name}.{method} failed "
                     f"after {policy.max_attempts} attempt(s) "
@@ -227,11 +270,44 @@ class ThreadRuntime:
 
             return ThreadFuture(server.executor.submit(faulty_handler))
 
-        def handler() -> Any:
-            server.requests_served += 1
-            return fn(*args, **kwargs)
+        return ThreadFuture(server.executor.submit(serve))
 
-        return ThreadFuture(server.executor.submit(handler))
+    def _instrumented_serve(self, caller_name: str, owner_name: str,
+                            server: "_ThreadServer", method: str,
+                            fn: Callable, args: tuple, kwargs: dict):
+        """Wrap one remote handler invocation with counters and spans.
+
+        Runs on the server's executor thread.  Spans use the caller's
+        charged clock at issue as the base and real handler seconds as the
+        extent — approximate, but enough to see linked client/server pairs
+        in a thread-mode trace.
+        """
+        metrics = self.obs.metrics
+        tracer = self.obs.tracer
+        issue_clock = self.process_of(caller_name).clock \
+            if caller_name in self._processes else 0.0
+
+        def serve() -> Any:
+            server.requests_served += 1
+            t0 = time.perf_counter()
+            result = fn(*args, **kwargs)
+            elapsed = time.perf_counter() - t0
+            resp_bytes, _ = payload_sizes(result)
+            metrics.inc("rpc.response_bytes", resp_bytes)
+            if tracer is not None:
+                client_id = tracer.record(
+                    f"rpc:{method}", caller_name, issue_clock,
+                    issue_clock + elapsed, kind="client",
+                    attrs={"owner": owner_name, "method": method},
+                )
+                tracer.record(
+                    f"serve:{method}", owner_name, issue_clock,
+                    issue_clock + elapsed, kind="server", link=client_id,
+                    attrs={"caller": caller_name, "method": method},
+                )
+            return result
+
+        return serve
 
     # -- driving coroutines -------------------------------------------------
     def spawn(self, name: str, body: Generator) -> ThreadProcess:

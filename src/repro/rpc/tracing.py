@@ -1,11 +1,19 @@
-"""RPC call tracing — communication observability.
+"""Per-call RPC records — the detail layer under ``repro.obs``.
 
 An :class:`RpcTracer` attached to an :class:`~repro.rpc.api.RpcContext`
 records every dispatched call (virtual time, endpoints, method, payload
-size and tensor count, local/remote).  Summaries answer the questions the
-paper's evaluation asks of its communication layer: how many requests, how
-many bytes, between which machines, and with what payload shapes — the raw
-material for Table 3-style analyses on arbitrary workloads.
+size and tensor count, local/remote) and every fault-layer event.  It is a
+thin adapter over the unified observability layer: aggregate counting lives
+in the :class:`~repro.obs.MetricsRegistry` (which both runtimes increment
+directly at dispatch), while this tracer keeps the *raw records* that
+registry counters cannot reconstruct — per-machine traffic matrices,
+per-method histograms, payload-size percentiles.  :meth:`RpcTracer.publish`
+pushes its aggregates into a registry so one snapshot carries both views.
+
+Summaries answer the questions the paper's evaluation asks of its
+communication layer: how many requests, how many bytes, between which
+machines, and with what payload shapes — the raw material for Table 3-style
+analyses on arbitrary workloads.
 """
 
 from __future__ import annotations
@@ -113,3 +121,19 @@ class RpcTracer:
             "payload_percentiles": self.payload_percentiles(),
             "faults_by_kind": self.faults_by_kind(),
         }
+
+    def publish(self, registry) -> None:
+        """Dump this tracer's aggregates into a ``MetricsRegistry``.
+
+        Gauges (not counters): these are derived snapshots, and the live
+        ``rpc.*`` counters already carry the canonical counts.
+        """
+        registry.set("rpc.trace.calls_total", float(len(self.records)))
+        registry.set("rpc.trace.calls_remote",
+                     float(len(self.remote_records())))
+        registry.set("rpc.trace.request_bytes_remote",
+                     float(self.total_request_bytes()))
+        for method, n in self.calls_by_method().items():
+            registry.set(f"rpc.trace.calls_by_method.{method}", float(n))
+        for kind, n in self.faults_by_kind().items():
+            registry.set(f"rpc.trace.faults.{kind}", float(n))

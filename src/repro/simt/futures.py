@@ -42,6 +42,11 @@ class SimFuture:
             raise SimulationError(f"future {self.tag!r} not resolved yet")
         return self._ready_time
 
+    @property
+    def exception(self) -> BaseException | None:
+        """The exception this future resolved with, or None."""
+        return self._exception if self._done else None
+
     def value(self) -> Any:
         """The resolved value; re-raises if resolved with an exception."""
         if not self._done:

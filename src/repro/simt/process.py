@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, WorkerCrashedError
 from repro.simt.futures import SimFuture
 from repro.utils.timer import CategoryTimer
 
@@ -30,6 +30,9 @@ class SimProcess:
         self.clock = 0.0
         self.timer = CategoryTimer(on_charge=self._advance_clock)
         self.completion = SimFuture(tag=f"{name}.completion")
+        #: optional SpanTracer; when set, measured() blocks and span() open
+        #: intervals on this process's virtual timeline
+        self.tracer = None
         self._body = body
         self._finished = False
         self._waiting = False
@@ -45,10 +48,33 @@ class SimProcess:
     def measured(self, category: str):
         """Context manager: run real work, charge its measured duration.
 
+        With a tracer attached, the charged interval is also recorded as a
+        span named after the category (nested under the innermost open
+        span), which is how the pop/push/serve spans of the runtime
+        breakdown reach the Chrome trace.
+
         >>> with proc.measured("push"):        # doctest: +SKIP
         ...     state.push(infos, nodes, shards)
         """
-        return self.timer.charge(category)
+        if self.tracer is None:
+            return self.timer.charge(category)
+        from repro.obs.spans import _TracedMeasure
+
+        return _TracedMeasure(self, category)
+
+    def span(self, name: str, **attrs):
+        """Open a logical span (e.g. one query) on this process's timeline.
+
+        A no-op context manager when no tracer is attached.  Safe to hold
+        across ``yield`` suspensions: the span covers waits too, so a
+        ``query`` span's duration is the query's virtual latency.
+        """
+        if self.tracer is None:
+            from contextlib import nullcontext
+
+            return nullcontext()
+        return self.tracer.span(self.name, name, lambda: self.clock,
+                                attrs or None)
 
     @property
     def breakdown(self):
@@ -112,9 +138,14 @@ class SimProcess:
         def on_done(f: SimFuture) -> None:
             resume_at = max(self.clock, f.ready_time)
             wait_dt = resume_at - self.clock
+            # Time blocked on a worker that turned out to be crashed is its
+            # own breakdown category: lumping it into "wait" would silently
+            # inflate the remote_fetch phase with outage time.
+            category = ("crashed" if isinstance(f.exception, WorkerCrashedError)
+                        else "wait")
 
             def resume() -> None:
-                self.timer.charge_seconds("wait", wait_dt)
+                self.timer.charge_seconds(category, wait_dt)
                 try:
                     value = f.value()
                 except BaseException as exc:
@@ -140,9 +171,13 @@ class SimProcess:
                 return
             resume_at = max([self.clock] + [f.ready_time for f in futs])
             wait_dt = resume_at - self.clock
+            category = ("crashed"
+                        if any(isinstance(f.exception, WorkerCrashedError)
+                               for f in futs)
+                        else "wait")
 
             def resume() -> None:
-                self.timer.charge_seconds("wait", wait_dt)
+                self.timer.charge_seconds(category, wait_dt)
                 try:
                     values = [f.value() for f in futs]
                 except BaseException as exc:

@@ -127,6 +127,7 @@ class TestSchedulerStress:
 
 
 class TestEngineStress:
+    @pytest.mark.slow
     def test_large_query_batch(self):
         """64 queries across 4 machines x 2 procs complete and verify."""
         g = powerlaw_cluster(800, 8, mixing=0.15, seed=5)

@@ -200,6 +200,7 @@ class TestTensorBaseline:
             db = b.states[gid].dense_result()
             assert np.abs(da - db).sum() <= bound
 
+    @pytest.mark.slow
     def test_tensor_pop_cost_scales_with_v(self):
         """The tensor baseline's pop is |V|-proportional (Figure 6 claim):
         per-iteration pop time grows with graph size even at fixed

@@ -126,6 +126,7 @@ class TestDatasets:
         g2 = load_dataset("products", scale=0.01)
         np.testing.assert_array_equal(g1.indices, g2.indices)
 
+    @pytest.mark.slow
     def test_skew_ordering_matches_paper(self):
         """d_max/d_avg: twitter > papers > products > friendster."""
         ratios = {}

@@ -1,0 +1,110 @@
+"""The deprecated ``run_queries`` shim and latency-percentile edges.
+
+``GraphEngine.run_queries(...)`` survives only as a forwarding wrapper
+over ``engine.run(RunRequest(...))``; these tests pin its contract —
+warns as deprecated, forwards every keyword, returns the same result —
+plus the degenerate ``latency_percentiles`` inputs (0 and 1 samples)
+that historically tripped ``np.percentile``.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineConfig, GraphEngine, QueryRunResult, RunRequest
+from repro.engine.query import sample_sources
+from repro.graph import powerlaw_cluster
+from repro.ppr import PPRParams
+
+
+@pytest.fixture(scope="module")
+def engine():
+    graph = powerlaw_cluster(400, 6, mixing=0.2, seed=7)
+    return GraphEngine(graph, EngineConfig(n_machines=2))
+
+
+class TestRunQueriesShim:
+    def test_warns_deprecation(self, engine):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            engine.run_queries(n_queries=2)
+        deps = [w for w in caught
+                if issubclass(w.category, DeprecationWarning)]
+        assert len(deps) == 1
+        assert "RunRequest" in str(deps[0].message)
+
+    def test_forwards_all_kwargs(self, engine):
+        sources = sample_sources(engine.sharded, 3, seed=5)
+        params = PPRParams(epsilon=1e-4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            run = engine.run_queries(sources=sources, params=params,
+                                     keep_states=True, seed=5)
+        assert run.n_queries == 3
+        assert sorted(run.states) == sorted(sources.tolist())
+
+    def test_result_equals_run(self, engine):
+        """The shim is a pure forwarder: same deterministic outputs as
+        the equivalent ``engine.run(RunRequest(...))``."""
+        sources = sample_sources(engine.sharded, 4, seed=9)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = engine.run_queries(sources=sources, keep_states=True)
+        new = engine.run(RunRequest(sources=sources, keep_states=True))
+        assert isinstance(old, QueryRunResult)
+        assert old.n_queries == new.n_queries
+        assert old.remote_requests == new.remote_requests
+        assert old.local_calls == new.local_calls
+        # makespan carries sampled network jitter and is deliberately
+        # not compared; the call/result contract is what the shim pins
+        assert old.states.keys() == new.states.keys()
+        n = engine.graph.n_nodes
+        for gid in old.states:
+            np.testing.assert_array_equal(
+                old.states[gid].dense_result(engine.sharded, n),
+                new.states[gid].dense_result(engine.sharded, n),
+            )
+
+    def test_n_queries_conflict_still_enforced(self, engine):
+        sources = sample_sources(engine.sharded, 2, seed=0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            # sources win; n_queries is dropped rather than conflicting
+            run = engine.run_queries(n_queries=99, sources=sources)
+        assert run.n_queries == 2
+
+
+class TestLatencyPercentiles:
+    def _result(self, latencies):
+        return QueryRunResult(
+            n_queries=len(latencies), makespan=1.0, throughput=1.0,
+            phases={}, per_proc_clocks={}, remote_requests=0, local_calls=0,
+            latencies=latencies,
+        )
+
+    def test_zero_samples(self):
+        out = self._result({}).latency_percentiles()
+        assert out == {50.0: 0.0, 90.0: 0.0, 99.0: 0.0}
+
+    def test_one_sample_is_that_sample(self):
+        out = self._result({7: 0.125}).latency_percentiles(q=(1, 50, 99.9))
+        assert out == {1.0: 0.125, 50.0: 0.125, 99.9: 0.125}
+
+    def test_keys_are_floats_regardless_of_spelling(self):
+        out = self._result({1: 0.1, 2: 0.3}).latency_percentiles(q=(50, 95))
+        assert set(out) == {50.0, 95.0}
+        assert all(isinstance(k, float) for k in out)
+
+    def test_many_samples_are_ordered(self):
+        lat = {i: 0.01 * (i + 1) for i in range(20)}
+        out = self._result(lat).latency_percentiles(q=(10, 50, 90))
+        assert out[10.0] <= out[50.0] <= out[90.0]
+        assert min(lat.values()) <= out[10.0]
+        assert out[90.0] <= max(lat.values())
+
+    def test_engine_run_populates_latencies(self, engine):
+        run = engine.run(RunRequest(n_queries=3))
+        assert len(run.latencies) == 3
+        pct = run.latency_percentiles()
+        assert pct[50.0] > 0

@@ -1,0 +1,187 @@
+"""Differential testing: virtual-time scheduler vs real threads.
+
+The same driver coroutines, the same ``ShardedGraph``, the same
+``FaultPlan`` — executed once on the deterministic virtual-time
+scheduler (via ``engine.run``) and once on :class:`ThreadRuntime` with a
+harness that mirrors ``engine.run``'s deployment (same worker names,
+same query assignment, same storage options).  Because fault decisions
+are keyed on (seed, caller, per-caller call index, attempt) — never on
+time — and the unified metrics registry uses one counter namespace on
+both runtimes, the two executions must agree on:
+
+* the result vectors, exactly (bit-for-bit — same arithmetic, same
+  order, timing-independent);
+* every ``rpc.*`` counter, including the injected-fault accounting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineConfig, GraphEngine, RunRequest
+from repro.engine.query import assign_queries, multi_query_driver, \
+    sample_sources
+from repro.graph import powerlaw_cluster
+from repro.ppr import OptLevel, PPRParams
+from repro.rpc import RetryPolicy, ThreadRuntime
+from repro.simt import FaultPlan
+from repro.storage import DistGraphStorage
+
+PARAMS = PPRParams(epsilon=1e-5)
+
+# Every counter the RPC layer maintains.  ``rpc.latency`` is a histogram
+# (virtual seconds vs real seconds) and deliberately not part of the
+# cross-runtime contract; ``counters()`` never includes histograms.
+RPC_COUNTERS = [
+    "rpc.calls",
+    "rpc.calls_local",
+    "rpc.calls_remote",
+    "rpc.request_bytes",
+    "rpc.response_bytes",
+    "rpc.retries",
+    "rpc.timeouts",
+    "rpc.dropped_messages",
+    "rpc.faults.drop",
+    "rpc.faults.timeout",
+    "rpc.faults.retry",
+]
+
+
+@pytest.fixture(scope="module")
+def engine():
+    graph = powerlaw_cluster(500, 6, mixing=0.2, seed=11)
+    return GraphEngine(graph, EngineConfig(n_machines=2))
+
+
+def run_threaded(engine, sources, *, fault_plan=None, retry_policy=None):
+    """Mirror ``engine.run``'s deployment on real threads.
+
+    Same server/worker names, same query assignment, same storage
+    options — so each caller issues the identical remote-call sequence
+    and the FaultPlan replays the identical drop decisions.
+    """
+    cfg = engine.config
+    sharded = engine.sharded
+    runtime = ThreadRuntime(fault_plan=fault_plan, retry_policy=retry_policy)
+    rrefs = []
+    for m in range(cfg.n_machines):
+        runtime.register_server(cfg.server_name(m), m)
+        rrefs.append(runtime.create_remote(
+            cfg.server_name(m), "storage",
+            lambda shard=sharded.shards[m]: shard,
+        ))
+    states: dict[int, object] = {}
+    try:
+        for (machine, p), chunk in assign_queries(
+                sharded, sources, cfg.procs_per_machine).items():
+            name = cfg.worker_name(machine, p)
+            proc = runtime.register_worker(name, machine)
+            g = DistGraphStorage(rrefs, machine, name, compress=True)
+            runtime.spawn(name, multi_query_driver(
+                g, proc, chunk, sharded, PARAMS,
+                opt=OptLevel.OVERLAP, collect=states,
+            ))
+        runtime.join(timeout=180)
+    finally:
+        runtime.shutdown()
+    return runtime, states
+
+
+def sim_request(sources, **overrides):
+    return RunRequest(sources=sources, params=PARAMS,
+                      opt=OptLevel.OVERLAP, keep_states=True, **overrides)
+
+
+def dense(states, sharded, n_nodes):
+    return {gid: s.dense_result(sharded, n_nodes)
+            for gid, s in states.items()}
+
+
+class TestHealthyDifferential:
+    def test_results_and_counters_identical(self, engine):
+        sources = sample_sources(engine.sharded, 8, seed=0)
+        sim = engine.run(sim_request(sources))
+        runtime, thread_states = run_threaded(engine, sources)
+
+        n = engine.graph.n_nodes
+        sim_vecs = dense(sim.states, engine.sharded, n)
+        thr_vecs = dense(thread_states, engine.sharded, n)
+        assert sim_vecs.keys() == thr_vecs.keys()
+        for gid in sim_vecs:
+            np.testing.assert_array_equal(sim_vecs[gid], thr_vecs[gid])
+
+        sim_counters = sim.obs.metrics.counters()
+        thr_counters = runtime.obs.metrics.counters()
+        for key in ("rpc.calls", "rpc.calls_local", "rpc.calls_remote",
+                    "rpc.request_bytes", "rpc.response_bytes"):
+            assert sim_counters[key] == thr_counters[key], key
+        # the fault counters never appeared on either side
+        for key in ("rpc.retries", "rpc.dropped_messages", "rpc.giveups"):
+            assert sim_counters.get(key, 0) == 0
+            assert thr_counters.get(key, 0) == 0
+
+    def test_legacy_counters_agree_with_registry(self, engine):
+        sources = sample_sources(engine.sharded, 4, seed=1)
+        runtime, _ = run_threaded(engine, sources)
+        c = runtime.obs.metrics.counters()
+        assert c["rpc.calls_remote"] == runtime.remote_requests
+        assert c["rpc.calls_local"] == runtime.local_calls
+
+
+class TestFaultyDifferential:
+    def test_same_faultplan_same_results_same_counters(self, engine):
+        """The acceptance assertion: one FaultPlan, two runtimes, equal
+        result vectors and equal retry/timeout/drop counters."""
+        sources = sample_sources(engine.sharded, 8, seed=0)
+        plan = FaultPlan(seed=13, drop_prob=0.15)
+        policy = RetryPolicy(max_attempts=6, timeout=5.0)
+
+        sim = engine.run(sim_request(
+            sources, fault_plan=plan, retry_policy=policy))
+        runtime, thread_states = run_threaded(
+            engine, sources, fault_plan=plan, retry_policy=policy)
+
+        # faults actually fired, and were survived, on both runtimes
+        assert sim.retries > 0
+        assert runtime.retries > 0
+
+        n = engine.graph.n_nodes
+        sim_vecs = dense(sim.states, engine.sharded, n)
+        thr_vecs = dense(thread_states, engine.sharded, n)
+        assert sim_vecs.keys() == thr_vecs.keys()
+        for gid in sim_vecs:
+            np.testing.assert_array_equal(sim_vecs[gid], thr_vecs[gid])
+
+        sim_counters = sim.obs.metrics.counters()
+        thr_counters = runtime.obs.metrics.counters()
+        for key in RPC_COUNTERS:
+            assert sim_counters.get(key, 0) == thr_counters.get(key, 0), key
+        # and the legacy int fields tell the same story
+        assert sim.retries == runtime.retries
+        assert sim.timeouts == runtime.timeouts
+        assert sim.dropped_messages == runtime.dropped_messages
+
+    def test_faulty_equals_healthy_results(self, engine):
+        """Dropped-and-retried messages never change the answer."""
+        sources = sample_sources(engine.sharded, 6, seed=2)
+        healthy = engine.run(sim_request(sources))
+        faulty = engine.run(sim_request(
+            sources, fault_plan=FaultPlan(seed=5, drop_prob=0.2),
+            retry_policy=RetryPolicy(max_attempts=8, timeout=5.0)))
+        assert faulty.retries > 0
+        n = engine.graph.n_nodes
+        h = dense(healthy.states, engine.sharded, n)
+        f = dense(faulty.states, engine.sharded, n)
+        for gid in h:
+            np.testing.assert_array_equal(h[gid], f[gid])
+
+    def test_thread_replay_is_deterministic(self, engine):
+        sources = sample_sources(engine.sharded, 6, seed=3)
+        plan = FaultPlan(seed=21, drop_prob=0.15)
+        policy = RetryPolicy(max_attempts=6, timeout=5.0)
+        a, _ = run_threaded(engine, sources, fault_plan=plan,
+                            retry_policy=policy)
+        b, _ = run_threaded(engine, sources, fault_plan=plan,
+                            retry_policy=policy)
+        assert a.obs.metrics.counters() == b.obs.metrics.counters()
+        assert a.dropped_messages > 0
+        assert a.dropped_messages == b.dropped_messages
