@@ -9,12 +9,8 @@ against the theoretical eps * sum(d_w) bound.
 
 import numpy as np
 
-from benchmarks.common import (
-    DATASET_NAMES,
-    assert_shapes,
-    get_graph,
-    print_and_store,
-)
+from benchmarks import common
+from benchmarks.common import DATASET_NAMES, get_graph
 from repro.ppr import (
     PPRParams,
     forward_push_parallel,
@@ -48,39 +44,45 @@ def run_dataset(name: str) -> list[dict]:
         bound = eps * graph.weighted_degrees.sum()
         rows.append({
             "Dataset": name,
-            "epsilon": f"{eps:g}",
+            "epsilon": eps,
             "Top-100 precision": round(float(np.mean(precisions)), 3),
-            "L1 error": f"{np.mean(errors):.2e}",
-            "L1 bound": f"{bound:.2e}",
+            "L1 error": float(f"{np.mean(errors):.3e}"),
+            "L1 bound": float(f"{bound:.3e}"),
         })
     return rows
 
 
+EXPECTATIONS = [
+    # the eps * sum(d_w) L1 bound is a theorem — it holds at every scale
+    {"kind": "per_row", "label": "L1 error within theoretical bound",
+     "left_col": "L1 error", "op": "le", "right_col": "L1 bound",
+     "factor": 1.01, "scales": "all"},
+    # the paper's 97%+ claim at eps = 1e-6 (within measurement slack on
+    # the smallest top-k margins).  Twitter is excluded — a known scale
+    # artifact: the stand-in's PPR vectors are nearly flat (weak
+    # communities + extreme hubs at 1000x reduced |V|), so eps-level
+    # noise reshuffles a top-100 whose scores are barely separated.
+    # Record, don't gate.
+    {"kind": "per_row", "label": "top-100 precision at eps=1e-6",
+     "left_col": "Top-100 precision", "op": "ge", "right": 0.94,
+     "where": {"epsilon": 1e-6, "Dataset": {"ne": "twitter"}},
+     "scales": ["full"]},
+]
+
+
 def test_accuracy_vs_ground_truth(benchmark):
-    rows = benchmark.pedantic(
+    rows, wall = common.timed(
+        benchmark,
         lambda: [r for name in DATASET_NAMES for r in run_dataset(name)],
-        rounds=1, iterations=1,
     )
-    print_and_store(
+    common.publish(
         "accuracy",
         "Forward Push accuracy vs power iteration (tol=1e-10) ground truth",
-        rows,
+        rows, key=("Dataset", "epsilon"),
+        deterministic=("Top-100 precision", "L1 error", "L1 bound"),
+        expectations=EXPECTATIONS, wall_s=wall,
     )
     for row in rows:
-        benchmark.extra_info[f"{row['Dataset']}@{row['epsilon']}"] = (
+        benchmark.extra_info[f"{row['Dataset']}@{row['epsilon']:g}"] = (
             f"p@100={row['Top-100 precision']}"
         )
-    if assert_shapes():
-        for row in rows:
-            assert float(row["L1 error"]) <= 1.01 * float(row["L1 bound"]), row
-            if row["epsilon"] != "1e-06":
-                continue
-            if row["Dataset"] == "twitter":
-                # Known scale artifact: the Twitter stand-in's PPR vectors
-                # are nearly flat (weak communities + extreme hubs at 1000x
-                # reduced |V|), so eps-level noise reshuffles a top-100
-                # whose scores are barely separated.  Record, don't gate.
-                continue
-            # the paper's 97%+ claim at eps = 1e-6 (within measurement
-            # slack on the smallest top-k margins)
-            assert row["Top-100 precision"] >= 0.94, row

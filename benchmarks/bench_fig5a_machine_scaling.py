@@ -10,13 +10,12 @@ Shape expectations here: throughput increases with machine count on every
 dataset, while the measured remote-traffic share rises with K.
 """
 
+from benchmarks import common
 from benchmarks.common import (
     DATASET_NAMES,
-    assert_shapes,
     bench_scale,
     engine_config,
     get_sharded,
-    print_and_store,
 )
 from repro.engine import GraphEngine
 from repro.partition import edge_cut_fraction
@@ -50,15 +49,48 @@ def run_dataset(name: str) -> list[dict]:
     return rows
 
 
-def test_fig5a_machine_scaling(benchmark):
-    rows = benchmark.pedantic(
-        lambda: [r for name in DATASET_NAMES for r in run_dataset(name)],
-        rounds=1, iterations=1,
+# Scaling wins: some larger cluster beats 2 machines.  (The per-point
+# comparison 8m > 2m is noise-sensitive on this substrate —
+# small-touched-set datasets saturate near 8 machines where per-round RPC
+# costs dominate, and measured compute carries host jitter — so assert
+# the robust envelope.)  Finer partitions cut more edges.
+EXPECTATIONS = [
+    exp for name in DATASET_NAMES for exp in (
+        {"kind": "cmp", "label": f"{name}: scaling beats 2 machines",
+         "left": {"col": "Throughput (q/s)",
+                  "where": {"Dataset": name,
+                            "Machines": {"ne": MACHINE_COUNTS[0]}},
+                  "agg": "max"},
+         "op": "gt",
+         "right": {"col": "Throughput (q/s)",
+                   "where": {"Dataset": name,
+                             "Machines": MACHINE_COUNTS[0]}},
+         "scales": ["full"]},
+        {"kind": "cmp", "label": f"{name}: finer partitions cut more edges",
+         "left": {"col": "Edge cut",
+                  "where": {"Dataset": name,
+                            "Machines": MACHINE_COUNTS[-1]}},
+         "op": "gt",
+         "right": {"col": "Edge cut",
+                   "where": {"Dataset": name,
+                             "Machines": MACHINE_COUNTS[0]}},
+         "scales": ["full"]},
     )
-    print_and_store(
+]
+
+
+def test_fig5a_machine_scaling(benchmark):
+    rows, wall = common.timed(
+        benchmark,
+        lambda: [r for name in DATASET_NAMES for r in run_dataset(name)],
+    )
+    common.publish(
         "fig5a",
         "Figure 5(a): throughput vs machines (1 proc/machine)",
-        rows,
+        rows, key=("Dataset", "Machines"),
+        deterministic=("Edge cut", "Remote call share"),
+        higher_is_better=("Throughput (q/s)",),
+        expectations=EXPECTATIONS, wall_s=wall,
     )
     series = {
         name: [r for r in rows if r["Dataset"] == name]
@@ -68,14 +100,3 @@ def test_fig5a_machine_scaling(benchmark):
         benchmark.extra_info[name] = " -> ".join(
             f"{p['Machines']}m:{p['Throughput (q/s)']}" for p in pts
         )
-    if assert_shapes():
-        for name, pts in series.items():
-            # Scaling wins: some larger cluster beats 2 machines.  (The
-            # per-point comparison 8m > 2m is noise-sensitive on this
-            # substrate — small-touched-set datasets saturate near 8
-            # machines where per-round RPC costs dominate, and measured
-            # compute carries host jitter — so assert the robust envelope.)
-            best_scaled = max(p["Throughput (q/s)"] for p in pts[1:])
-            assert best_scaled > pts[0]["Throughput (q/s)"], name
-            # finer partitions cut more edges
-            assert pts[-1]["Edge cut"] > pts[0]["Edge cut"], name

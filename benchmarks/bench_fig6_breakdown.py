@@ -13,13 +13,12 @@ engine's, and its push is slower than the engine's per the paper's 5-16x
 HashMap-vs-tensor push comparison at paper scale.
 """
 
+from benchmarks import common
 from benchmarks.common import (
     DATASET_NAMES,
-    assert_shapes,
     bench_scale,
     engine_config,
     get_sharded,
-    print_and_store,
 )
 from repro.engine import GraphEngine
 from repro.engine.query import sample_sources
@@ -54,36 +53,57 @@ def run_dataset(name: str) -> list[dict]:
     return rows
 
 
-def test_fig6_breakdown(benchmark):
-    rows = benchmark.pedantic(
-        lambda: [r for name in DATASET_NAMES for r in run_dataset(name)],
-        rounds=1, iterations=1,
+# Engine shape: pop negligible; remote fetch the same order of magnitude
+# as push ("the Remote Fetch time is similar to the Push time for our PPR
+# Engine").  Tensor shape: the |V|-proportional activation scan's *share*
+# grows with graph size (it dominates outright only at paper scale; the
+# crossover bench measures that trend directly).
+EXPECTATIONS = [
+    {"kind": "bounds", "label": "engine pop share negligible",
+     "col": "Pop share", "where": {"Impl": "PPR Engine"}, "hi": 0.35,
+     "scales": ["full"]},
+    {"kind": "cmp", "label": "tensor pop share grows with |V|",
+     "left": {"col": "Pop share",
+              "where": {"Impl": "PyTorch Tensor", "Dataset": "papers"}},
+     "op": "gt",
+     "right": {"col": "Pop share",
+               "where": {"Impl": "PyTorch Tensor", "Dataset": "products"}},
+     "scales": ["full"]},
+] + [
+    exp for name in DATASET_NAMES for exp in (
+        {"kind": "ratio", "label": f"{name}: engine RF/Push > 0.05",
+         "left": [{"col": "Remote Fetch",
+                   "where": {"Impl": "PPR Engine", "Dataset": name}},
+                  {"col": "Push",
+                   "where": {"Impl": "PPR Engine", "Dataset": name}}],
+         "op": "gt", "right": 0.05, "scales": ["full"]},
+        {"kind": "ratio", "label": f"{name}: engine RF/Push < 20",
+         "left": [{"col": "Remote Fetch",
+                   "where": {"Impl": "PPR Engine", "Dataset": name}},
+                  {"col": "Push",
+                   "where": {"Impl": "PPR Engine", "Dataset": name}}],
+         "op": "lt", "right": 20.0, "scales": ["full"]},
     )
-    print_and_store(
+]
+
+
+def test_fig6_breakdown(benchmark):
+    rows, wall = common.timed(
+        benchmark,
+        lambda: [r for name in DATASET_NAMES for r in run_dataset(name)],
+    )
+    common.publish(
         "fig6",
         "Figure 6: runtime breakdown, batched + compressed, no overlap",
-        rows,
+        rows, key=("Dataset", "Impl"),
+        lower_is_better=("Local Fetch", "Remote Fetch", "Push",
+                         "Pop (act. retrieval)"),
+        expectations=EXPECTATIONS, wall_s=wall,
+        virtual_cols=("Local Fetch", "Remote Fetch", "Push",
+                      "Pop (act. retrieval)"),
     )
     for row in rows:
         benchmark.extra_info[f"{row['Dataset']}/{row['Impl']}"] = (
             f"lf={row['Local Fetch']} rf={row['Remote Fetch']} "
             f"push={row['Push']} pop={row['Pop (act. retrieval)']}"
         )
-    if assert_shapes():
-        for name in DATASET_NAMES:
-            engine_row = next(r for r in rows if r["Dataset"] == name
-                              and r["Impl"] == "PPR Engine")
-            # Engine shape: pop negligible; remote fetch the same order of
-            # magnitude as push ("the Remote Fetch time is similar to the
-            # Push time for our PPR Engine").
-            assert engine_row["Pop share"] < 0.35, name
-            ratio = engine_row["Remote Fetch"] / max(engine_row["Push"], 1e-9)
-            assert 0.05 < ratio < 20.0, (name, ratio)
-        # Tensor shape: the |V|-proportional activation scan's *share*
-        # grows with graph size (it dominates outright only at paper
-        # scale; the crossover bench measures that trend directly).
-        tensor_pop = {
-            r["Dataset"]: r["Pop share"] for r in rows
-            if r["Impl"] == "PyTorch Tensor"
-        }
-        assert tensor_pop["papers"] > tensor_pop["products"]

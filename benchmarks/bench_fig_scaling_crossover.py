@@ -22,7 +22,8 @@ structure and show
 
 import numpy as np
 
-from benchmarks.common import assert_shapes, bench_scale, print_and_store
+from benchmarks import common
+from benchmarks.common import bench_scale
 from repro.engine import EngineConfig, GraphEngine
 from repro.graph import powerlaw_cluster
 from repro.partition import HashPartitioner
@@ -57,19 +58,34 @@ def run_size(n_nodes: int, n_queries: int) -> dict:
     }
 
 
+# The shape: ratio grows monotonically with |V|; at full scale it crosses
+# 1 within the sweep and the fitted trend keeps widening toward the
+# paper's regime (the projected ratios live in ``extra``).  The monotone
+# claim gates only at full — at tiny/small the sweep's sizes are close
+# enough that wall-clock jitter can flip adjacent ratios.
+EXPECTATIONS = [
+    {"kind": "monotone", "label": "engine/tensor ratio grows with |V|",
+     "col": "Ratio", "direction": "increasing", "order_col": "|V|",
+     "scales": ["full"]},
+    {"kind": "cmp", "label": "ratio crosses 1 within the sweep",
+     "left": {"col": "Ratio", "agg": "last", "order_col": "|V|"},
+     "op": "gt", "right": 1.0, "scales": ["full"]},
+    {"kind": "cmp", "label": "projected products ratio > 2x",
+     "left": {"extra": "projected_products"}, "op": "gt", "right": 2.0,
+     "scales": ["full"]},
+    {"kind": "cmp", "label": "projection widens with |V|",
+     "left": {"extra": "projected_friendster"}, "op": "gt",
+     "right": {"extra": "projected_products"}, "scales": ["full"]},
+]
+
+
 def test_scaling_crossover(benchmark):
     scale = bench_scale()
     sizes = SIZES_BY_SCALE[scale.name]
     n_queries = max(4, scale.queries_small)
 
-    rows = benchmark.pedantic(
-        lambda: [run_size(n, n_queries) for n in sizes],
-        rounds=1, iterations=1,
-    )
-    print_and_store(
-        "scaling_crossover",
-        "Engine/tensor throughput ratio vs |V| (fixed degree structure)",
-        rows,
+    rows, wall = common.timed(
+        benchmark, lambda: [run_size(n, n_queries) for n in sizes]
     )
     ratios = [r["Ratio"] for r in rows]
     benchmark.extra_info["ratio_series"] = " -> ".join(
@@ -80,22 +96,22 @@ def test_scaling_crossover(benchmark):
     logsizes = np.log([r["|V|"] for r in rows])
     logratio = np.log(np.maximum(ratios, 1e-9))
     slope, intercept = np.polyfit(logsizes, logratio, 1)
+    extra = {}
     for paper_v, paper_ratio, ds in ((2.5e6, 83, "products"),
                                      (65.6e6, 1085, "friendster")):
         projected = float(np.exp(intercept + slope * np.log(paper_v)))
+        extra[f"projected_{ds}"] = round(projected, 1)
         benchmark.extra_info[f"projected@{ds}"] = (
             f"{projected:.0f}x (paper: {paper_ratio}x)"
         )
         print(f"projected engine/tensor ratio at |V|={paper_v:.2g} "
               f"({ds}): {projected:.0f}x   [paper: {paper_ratio}x]")
 
-    # The shape: ratio grows monotonically with |V|...
-    assert all(b > a for a, b in zip(ratios, ratios[1:])), ratios
-    if assert_shapes():
-        # ...crosses 1 within the sweep, and the fitted trend keeps
-        # widening toward the paper's regime.
-        assert ratios[-1] > 1.0, ratios
-        projected_products = float(np.exp(intercept + slope * np.log(2.5e6)))
-        assert projected_products > 2.0, projected_products
-        projected_friendster = float(np.exp(intercept + slope * np.log(65.6e6)))
-        assert projected_friendster > projected_products
+    common.publish(
+        "scaling_crossover",
+        "Engine/tensor throughput ratio vs |V| (fixed degree structure)",
+        rows, key=("|V|",),
+        deterministic=("Touched", "Touched/|V|"),
+        higher_is_better=("Engine (q/s)", "Tensor (q/s)"),
+        expectations=EXPECTATIONS, extra=extra, wall_s=wall,
+    )

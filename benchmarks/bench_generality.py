@@ -15,13 +15,8 @@ import time
 
 import numpy as np
 
-from benchmarks.common import (
-    assert_shapes,
-    bench_scale,
-    engine_config,
-    get_sharded,
-    print_and_store,
-)
+from benchmarks import common
+from benchmarks.common import bench_scale, engine_config, get_sharded
 from repro.engine.cluster import SimCluster
 from repro.ppr import fora_ssppr, power_iteration_ssppr, topk_precision
 from repro.storage import DistGraphStorage
@@ -102,20 +97,30 @@ def run_fora(sharded) -> dict:
     }
 
 
+# correctness against single-machine references holds at every scale
+EXPECTATIONS = [
+    {"kind": "all_true", "label": "all algorithms correct",
+     "col": "Correct", "scales": "all"},
+]
+
+
 def test_engine_generality(benchmark):
     sharded = get_sharded(DATASET, N_MACHINES)
-    rows = benchmark.pedantic(
+    rows, wall = common.timed(
+        benchmark,
         lambda: [run_bfs(sharded), run_node2vec(sharded), run_fora(sharded)],
-        rounds=1, iterations=1,
     )
-    print_and_store(
+    common.publish(
         "generality",
         f"Engine generality on {DATASET}: other algorithms on the same "
         "storage/RPC substrate",
-        rows,
+        rows, key=("Algorithm",),
+        deterministic=("Correct",),
+        lower_is_better=("Virtual time (s)",),
+        expectations=EXPECTATIONS, wall_s=wall,
+        virtual_cols=("Virtual time (s)",),
     )
     for row in rows:
         benchmark.extra_info[row["Algorithm"]] = (
             f"t={row['Virtual time (s)']}s ok={row['Correct']}"
         )
-    assert all(row["Correct"] for row in rows)

@@ -9,7 +9,8 @@ plus the learning curve — asserting the end-to-end signal: the model learns
 sampling, convert_batch, feature store, all-reduce) to be wired correctly.
 """
 
-from benchmarks.common import assert_shapes, bench_scale, print_and_store
+from benchmarks import common
+from benchmarks.common import bench_scale
 from repro.engine import EngineConfig
 from repro.gnn import community_task, run_distributed_training
 from repro.graph import powerlaw_cluster
@@ -44,18 +45,30 @@ def run_case_study() -> dict:
     }
 
 
+# the end-to-end learning signal: loss falls, accuracy clears random
+EXPECTATIONS = [
+    {"kind": "per_row", "label": "loss falls over training",
+     "left_col": "Final loss", "op": "lt", "right_col": "First loss",
+     "scales": ["full"]},
+    {"kind": "per_row", "label": "accuracy clears 2x random",
+     "left_col": "Final acc", "op": "gt", "right_col": "Random acc",
+     "factor": 2.0, "scales": ["full"]},
+]
+
+
 def test_gnn_case_study(benchmark):
-    row = benchmark.pedantic(run_case_study, rounds=1, iterations=1)
+    row, wall = common.timed(benchmark, run_case_study)
     history = row.pop("_history")
-    print_and_store(
+    common.publish(
         "gnn_case_study",
         "Figure 7 case study: ShaDow-SAGE + PPR sampling (2 machines, DDP)",
-        [row],
+        [row], key=("Nodes",),
+        deterministic=("Steps/replica", "First loss", "Final loss",
+                       "Final acc", "Random acc"),
+        higher_is_better=("Train thpt (steps/s)",),
+        expectations=EXPECTATIONS, wall_s=wall,
     )
     print("loss curve:", [round(x, 3) for x in history.losses])
     print("acc curve: ", [round(x, 3) for x in history.accuracies])
     benchmark.extra_info["final_acc"] = row["Final acc"]
     benchmark.extra_info["train_thpt"] = row["Train thpt (steps/s)"]
-    if assert_shapes():
-        assert row["Final loss"] < row["First loss"]
-        assert row["Final acc"] > 2 * row["Random acc"]

@@ -13,13 +13,8 @@ them with the engine's own network model.
 
 import numpy as np
 
-from benchmarks.common import (
-    assert_shapes,
-    bench_scale,
-    engine_config,
-    get_sharded,
-    print_and_store,
-)
+from benchmarks import common
+from benchmarks.common import bench_scale, engine_config, get_sharded
 from repro.engine import GraphEngine
 from repro.engine.query import sample_sources
 from repro.ppr import PPRParams
@@ -70,7 +65,7 @@ def run_dataset(name: str) -> dict:
         "Queries": len(run.states),
         "Avoided wdeg lookups": extra_lookups,
         "Modeled extra time (s)": round(extra_seconds, 4),
-        "Overhead if uncached": f"+{100 * extra_seconds / run.makespan:.0f}%",
+        "Uncached overhead (%)": round(100 * extra_seconds / run.makespan),
         "RPCs @1hop": run.remote_requests,
         "RPCs @2hop": run2.remote_requests,
         "Mem @1hop (MB)": round(mem1 / 1e6, 1),
@@ -78,27 +73,40 @@ def run_dataset(name: str) -> dict:
     }
 
 
+# the 1-hop metadata cache is load-bearing, and deepening to 2 hops
+# trades memory for fewer RPCs, exactly the direction Section 3.2.1
+# describes
+EXPECTATIONS = [
+    {"kind": "per_row", "label": "halo cache avoids many wdeg lookups",
+     "left_col": "Avoided wdeg lookups", "op": "gt", "right": 100,
+     "scales": ["full"]},
+    {"kind": "per_row", "label": "modeled no-cache cost is positive",
+     "left_col": "Modeled extra time (s)", "op": "gt", "right": 0,
+     "scales": ["full"]},
+    {"kind": "per_row", "label": "2-hop halo needs fewer RPCs",
+     "left_col": "RPCs @2hop", "op": "le", "right_col": "RPCs @1hop",
+     "scales": "all"},
+    {"kind": "per_row", "label": "2-hop halo costs more memory",
+     "left_col": "Mem @2hop (MB)", "op": "gt", "right_col": "Mem @1hop (MB)",
+     "scales": "all"},
+]
+
+
 def test_halo_cache_savings(benchmark):
-    rows = benchmark.pedantic(
-        lambda: [run_dataset(name) for name in DATASETS],
-        rounds=1, iterations=1,
+    rows, wall = common.timed(
+        benchmark, lambda: [run_dataset(name) for name in DATASETS]
     )
-    print_and_store(
+    common.publish(
         "halo_cache",
         "Halo-cache ablation: remote wdeg lookups avoided by 1-hop caching",
-        rows,
+        rows, key=("Dataset",),
+        deterministic=("Queries", "Avoided wdeg lookups",
+                       "Modeled extra time (s)", "RPCs @1hop", "RPCs @2hop",
+                       "Mem @1hop (MB)", "Mem @2hop (MB)"),
+        expectations=EXPECTATIONS, wall_s=wall,
     )
     for row in rows:
         benchmark.extra_info[row["Dataset"]] = (
             f"avoided={row['Avoided wdeg lookups']} "
-            f"overhead={row['Overhead if uncached']}"
+            f"overhead=+{row['Uncached overhead (%)']}%"
         )
-    if assert_shapes():
-        for row in rows:
-            # the 1-hop metadata cache is load-bearing...
-            assert row["Avoided wdeg lookups"] > 100, row
-            assert row["Modeled extra time (s)"] > 0, row
-            # ...and deepening to 2 hops trades memory for fewer RPCs,
-            # exactly the direction Section 3.2.1 describes
-            assert row["RPCs @2hop"] <= row["RPCs @1hop"], row
-            assert row["Mem @2hop (MB)"] > row["Mem @1hop (MB)"], row

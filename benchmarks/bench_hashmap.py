@@ -10,7 +10,7 @@ updates).
 
 import numpy as np
 
-from benchmarks.common import assert_shapes, print_and_store
+from benchmarks import common
 from repro.ppr.hashmap import ShardedMap
 
 BATCH_SIZES = (1_000, 10_000, 100_000)
@@ -63,24 +63,42 @@ def run_batch_size(n: int) -> dict:
     }
 
 
+# at engine-scale batches the vectorized map clearly wins, and submaps
+# stay usably balanced (the lock-free partitioning premise)
+EXPECTATIONS = [
+    {"kind": "cmp", "label": "map insert beats dict at engine batches",
+     "left": {"col": "Map insert (ms)", "where": {"Batch": BATCH_SIZES[-1]}},
+     "op": "lt",
+     "right": {"col": "Dict insert (ms)",
+               "where": {"Batch": BATCH_SIZES[-1]}},
+     "scales": ["full"]},
+    {"kind": "cmp", "label": "map lookup beats dict at engine batches",
+     "left": {"col": "Map lookup (ms)", "where": {"Batch": BATCH_SIZES[-1]}},
+     "op": "lt",
+     "right": {"col": "Dict lookup (ms)",
+               "where": {"Batch": BATCH_SIZES[-1]}},
+     "scales": ["full"]},
+    {"kind": "bounds", "label": "submaps stay balanced",
+     "col": "Submap max/mean", "where": {"Batch": BATCH_SIZES[-1]},
+     "hi": 1.6, "scales": "all"},
+]
+
+
 def test_hashmap_vs_dict(benchmark):
-    rows = benchmark.pedantic(
-        lambda: [run_batch_size(n) for n in BATCH_SIZES],
-        rounds=1, iterations=1,
+    rows, wall = common.timed(
+        benchmark, lambda: [run_batch_size(n) for n in BATCH_SIZES]
     )
-    print_and_store(
+    common.publish(
         "hashmap",
         "ShardedMap vs Python dict (get_or_insert / lookup)",
-        rows,
+        rows, key=("Batch",),
+        deterministic=("Submap max/mean",),
+        lower_is_better=("Map insert (ms)", "Map lookup (ms)",
+                         "Map 2nd insert (ms)", "Dict insert (ms)",
+                         "Dict lookup (ms)"),
+        expectations=EXPECTATIONS, wall_s=wall,
     )
     for row in rows:
         benchmark.extra_info[f"batch{row['Batch']}"] = (
             f"map={row['Map insert (ms)']}ms dict={row['Dict insert (ms)']}ms"
         )
-    if assert_shapes():
-        big = rows[-1]
-        # at engine-scale batches the vectorized map clearly wins
-        assert big["Map insert (ms)"] < big["Dict insert (ms)"]
-        assert big["Map lookup (ms)"] < big["Dict lookup (ms)"]
-        # submaps stay usably balanced (lock-free partitioning premise)
-        assert big["Submap max/mean"] < 1.6

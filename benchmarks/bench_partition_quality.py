@@ -8,12 +8,8 @@ remote-call share under our multilevel partitioner vs. the random / hash /
 BFS baselines.
 """
 
-from benchmarks.common import (
-    assert_shapes,
-    bench_scale,
-    get_graph,
-    print_and_store,
-)
+from benchmarks import common
+from benchmarks.common import bench_scale, get_graph
 from repro.engine import EngineConfig, GraphEngine
 from repro.partition import (
     BfsPartitioner,
@@ -56,27 +52,44 @@ def run_partitioner(name: str, factory) -> dict:
     }
 
 
+# min-cut partitioning slashes both the static cut and the dynamic
+# remote traffic relative to random placement, and the BFS baseline sits
+# in between on cut quality — all deterministic (seeded partitioners,
+# RPC counters), but the margins assume full-size stand-ins
+EXPECTATIONS = [
+    {"kind": "cmp", "label": "min-cut slashes the edge cut",
+     "left": {"col": "Edge cut", "where": {"Partitioner": "metis_lite"}},
+     "op": "lt",
+     "right": {"col": "Edge cut", "where": {"Partitioner": "random"}},
+     "factor": 0.3, "scales": ["full"]},
+    {"kind": "cmp", "label": "min-cut cuts dynamic remote traffic",
+     "left": {"col": "Remote call share",
+              "where": {"Partitioner": "metis_lite"}},
+     "op": "lt",
+     "right": {"col": "Remote call share",
+               "where": {"Partitioner": "random"}},
+     "scales": ["full"]},
+    {"kind": "cmp", "label": "BFS baseline sits in between",
+     "left": {"col": "Edge cut", "where": {"Partitioner": "metis_lite"}},
+     "op": "le",
+     "right": {"col": "Edge cut", "where": {"Partitioner": "bfs"}},
+     "factor": 1.05, "scales": ["full"]},
+]
+
+
 def test_partition_quality(benchmark):
-    rows = benchmark.pedantic(
-        lambda: [run_partitioner(n, f) for n, f in PARTITIONERS],
-        rounds=1, iterations=1,
+    rows, wall = common.timed(
+        benchmark, lambda: [run_partitioner(n, f) for n, f in PARTITIONERS]
     )
-    print_and_store(
+    common.publish(
         "partition_quality",
         f"Partitioner ablation on {DATASET} ({N_MACHINES} shards)",
-        rows,
+        rows, key=("Partitioner",),
+        deterministic=("Edge cut", "Remote call share"),
+        higher_is_better=("Throughput (q/s)",),
+        expectations=EXPECTATIONS, wall_s=wall,
     )
-    by = {r["Partitioner"]: r for r in rows}
-    for name, row in by.items():
-        benchmark.extra_info[name] = (
+    for row in rows:
+        benchmark.extra_info[row["Partitioner"]] = (
             f"cut={row['Edge cut']} remote={row['Remote call share']}"
         )
-    if assert_shapes():
-        # min-cut partitioning slashes both the static cut and the dynamic
-        # remote traffic relative to random placement
-        assert by["metis_lite"]["Edge cut"] < 0.3 * by["random"]["Edge cut"]
-        assert (by["metis_lite"]["Remote call share"]
-                < by["random"]["Remote call share"])
-        # and the BFS baseline sits in between on cut quality
-        assert (by["metis_lite"]["Edge cut"]
-                <= by["bfs"]["Edge cut"] * 1.05)

@@ -12,7 +12,8 @@ import time
 
 import numpy as np
 
-from benchmarks.common import assert_shapes, get_graph, print_and_store
+from benchmarks import common
+from benchmarks.common import get_graph
 from repro.ppr import (
     PPRParams,
     forward_push_parallel,
@@ -67,30 +68,45 @@ def run_methods() -> list[dict]:
         rows.append({
             "Method": method,
             "Time/query (ms)": round(1e3 * float(np.mean(times)), 1),
-            "L1 error": f"{np.mean(errs):.3e}",
+            "L1 error": float(f"{np.mean(errs):.3e}"),
             "Top-50 precision": round(float(np.mean(precs)), 3),
         })
     return rows
 
 
+# Forward Push: faster than exact power iteration, near-exact top-k.
+# Monte-Carlo: noticeably noisier than Forward Push at this budget.
+EXPECTATIONS = [
+    {"kind": "cmp", "label": "forward push beats power iteration",
+     "left": {"col": "Time/query (ms)",
+              "where": {"Method": "forward_push"}},
+     "op": "lt",
+     "right": {"col": "Time/query (ms)",
+               "where": {"Method": "power_iteration"}},
+     "scales": ["full"]},
+    {"kind": "per_row", "label": "forward push near-exact top-k",
+     "left_col": "Top-50 precision", "op": "ge", "right": 0.9,
+     "where": {"Method": "forward_push"}, "scales": ["full"]},
+    {"kind": "cmp", "label": "monte carlo noisier than push",
+     "left": {"col": "L1 error", "where": {"Method": "monte_carlo"}},
+     "op": "gt",
+     "right": {"col": "L1 error", "where": {"Method": "forward_push"}},
+     "scales": "all"},
+]
+
+
 def test_ppr_method_families(benchmark):
-    rows = benchmark.pedantic(run_methods, rounds=1, iterations=1)
-    print_and_store(
+    rows, wall = common.timed(benchmark, run_methods)
+    common.publish(
         "ppr_methods",
         f"PPR method families on {DATASET} (alpha=0.462; "
         f"MC = {N_WALKS} walks)",
-        rows,
+        rows, key=("Method",),
+        deterministic=("L1 error", "Top-50 precision"),
+        lower_is_better=("Time/query (ms)",),
+        expectations=EXPECTATIONS, wall_s=wall,
     )
-    by = {r["Method"]: r for r in rows}
-    for method, row in by.items():
-        benchmark.extra_info[method] = (
+    for row in rows:
+        benchmark.extra_info[row["Method"]] = (
             f"t={row['Time/query (ms)']}ms p@50={row['Top-50 precision']}"
         )
-    if assert_shapes():
-        # Forward Push: faster than exact power iteration, near-exact top-k.
-        assert (by["forward_push"]["Time/query (ms)"]
-                < by["power_iteration"]["Time/query (ms)"])
-        assert by["forward_push"]["Top-50 precision"] >= 0.9
-        # Monte-Carlo: noticeably noisier than Forward Push at this budget.
-        assert (float(by["monte_carlo"]["L1 error"])
-                > float(by["forward_push"]["L1 error"]))

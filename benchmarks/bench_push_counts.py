@@ -10,12 +10,8 @@ of communication rounds a distributed run needs) collapses.
 
 import numpy as np
 
-from benchmarks.common import (
-    assert_shapes,
-    bench_scale,
-    get_graph,
-    print_and_store,
-)
+from benchmarks import common
+from benchmarks.common import get_graph
 from repro.ppr import PPRParams, forward_push_parallel, forward_push_sequential
 
 DATASETS = ("products", "friendster")
@@ -48,24 +44,32 @@ def run_dataset(name: str) -> dict:
     }
 
 
+# "slightly more pushes": bounded overhead, while communication rounds
+# collapse by orders of magnitude — all counters, hence deterministic;
+# the magnitude claims assume full-size graphs
+EXPECTATIONS = [
+    {"kind": "bounds", "label": "parallel push overhead bounded",
+     "col": "Push overhead", "lo": 1.0, "hi": 3.0, "scales": ["full"]},
+    {"kind": "per_row", "label": "communication rounds collapse",
+     "left_col": "Round reduction", "op": "gt", "right": 10,
+     "scales": ["full"]},
+]
+
+
 def test_push_counts(benchmark):
-    rows = benchmark.pedantic(
-        lambda: [run_dataset(name) for name in DATASETS],
-        rounds=1, iterations=1,
+    rows, wall = common.timed(
+        benchmark, lambda: [run_dataset(name) for name in DATASETS]
     )
-    print_and_store(
+    common.publish(
         "push_counts",
         "Parallel vs sequential Forward Push: pushes and rounds",
-        rows,
+        rows, key=("Dataset",),
+        deterministic=("Seq pushes", "Par pushes", "Push overhead",
+                       "Seq rounds", "Par rounds", "Round reduction"),
+        expectations=EXPECTATIONS, wall_s=wall,
     )
     for row in rows:
         benchmark.extra_info[row["Dataset"]] = (
             f"overhead={row['Push overhead']} "
             f"rounds {row['Seq rounds']} -> {row['Par rounds']}"
         )
-    if assert_shapes():
-        for row in rows:
-            # "slightly more pushes": bounded overhead
-            assert 1.0 <= row["Push overhead"] < 3.0, row
-            # communication rounds collapse by orders of magnitude
-            assert row["Round reduction"] > 10, row

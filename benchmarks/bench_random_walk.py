@@ -8,13 +8,8 @@ machine counts — the workload stresses ``sample_one_neighbor`` batching
 rather than PPR operators.
 """
 
-from benchmarks.common import (
-    assert_shapes,
-    bench_scale,
-    engine_config,
-    get_sharded,
-    print_and_store,
-)
+from benchmarks import common
+from benchmarks.common import bench_scale, engine_config, get_sharded
 from repro.engine import GraphEngine
 
 DATASET = "products"
@@ -42,20 +37,31 @@ def run_walks() -> list[dict]:
     return rows
 
 
+# Walks are communication-bound: each step is one batched RPC round per
+# machine pair, so adding machines adds server-side contention instead of
+# useful parallelism (the compute per step is trivial).  Assert the runs
+# stay within the same order of magnitude rather than a scaling win the
+# workload cannot give.
+EXPECTATIONS = [
+    {"kind": "per_row", "label": "walks complete",
+     "left_col": "Walks/s", "op": "gt", "right": 0, "scales": "all"},
+    {"kind": "cmp", "label": "machine counts stay in one magnitude",
+     "left": {"col": "Walks/s", "where": {"Machines": MACHINE_COUNTS[-1]}},
+     "op": "gt",
+     "right": {"col": "Walks/s", "where": {"Machines": MACHINE_COUNTS[0]}},
+     "factor": 0.25, "scales": ["full"]},
+]
+
+
 def test_random_walk_throughput(benchmark):
-    rows = benchmark.pedantic(run_walks, rounds=1, iterations=1)
-    print_and_store(
+    rows, wall = common.timed(benchmark, run_walks)
+    common.publish(
         "random_walk",
         f"Distributed random walks on {DATASET} (length {WALK_LENGTH})",
-        rows,
+        rows, key=("Dataset", "Machines"),
+        deterministic=("Roots", "Walk length"),
+        higher_is_better=("Walks/s", "Steps/s"),
+        expectations=EXPECTATIONS, wall_s=wall,
     )
     for row in rows:
         benchmark.extra_info[f"{row['Machines']}m"] = f"{row['Walks/s']} walks/s"
-    if assert_shapes():
-        assert all(row["Walks/s"] > 0 for row in rows)
-        # Walks are communication-bound: each step is one batched RPC
-        # round per machine pair, so adding machines adds server-side
-        # contention instead of useful parallelism (the compute per step
-        # is trivial).  Assert the runs stay within the same order of
-        # magnitude rather than a scaling win the workload cannot give.
-        assert rows[-1]["Walks/s"] > rows[0]["Walks/s"] * 0.25

@@ -16,13 +16,8 @@ behind local work — remote-fetch seconds can even rise while total falls,
 exactly as in the paper's +Overlap row).
 """
 
-from benchmarks.common import (
-    assert_shapes,
-    bench_scale,
-    engine_config,
-    get_sharded,
-    print_and_store,
-)
+from benchmarks import common
+from benchmarks.common import bench_scale, engine_config, get_sharded
 from repro.engine import GraphEngine
 from repro.engine.query import sample_sources
 from repro.ppr import OptLevel, PPRParams
@@ -32,10 +27,10 @@ ABLATION_PARAMS = PPRParams(alpha=0.462, epsilon=1e-5)
 N_MACHINES = 2
 
 
-def run_level(engine, sources, opt: OptLevel) -> dict:
+def run_level(engine, sources, opt: OptLevel) -> tuple[dict, dict]:
     engine.config.opt = opt
     run = engine.run_queries(sources=sources, params=ABLATION_PARAMS)
-    return {
+    row = {
         "Level": opt.value,
         "Local Fetch (s)": round(run.phases["local_fetch"], 4),
         "Remote Fetch (s)": round(run.phases["remote_fetch"], 4),
@@ -44,6 +39,43 @@ def run_level(engine, sources, opt: OptLevel) -> dict:
         "RPCs": run.remote_requests,
         "_makespan": run.makespan,
     }
+    return row, run.metrics
+
+
+# Batching reduces both RPC count and total time (min-cut partitioning
+# keeps remote activations rare, so the per-vertex count is modest even
+# unbatched; the time ratio is the big win).  Compression's robust
+# signatures: the zero-copy local path slashes local fetch by an order of
+# magnitude, and the total improves.  (The remote-fetch column mixes
+# modeled transfer with *measured* handler time, so run-to-run compute
+# noise can wash out its per-tensor savings at bench scale — not
+# asserted.)  Overlap improves (or at least does not hurt) the total.
+# RPC counts are deterministic, so the batching count claim holds at
+# every scale; the time ratios only separate cleanly at full scale.
+EXPECTATIONS = [
+    {"kind": "cmp", "label": "batching cuts RPC count >2x",
+     "left": {"col": "RPCs", "where": {"Level": "batch"}}, "op": "lt",
+     "right": {"col": "RPCs", "where": {"Level": "single"}},
+     "factor": 0.5, "scales": "all"},
+    {"kind": "cmp", "label": "batching cuts total >2x",
+     "left": {"col": "Total (s)", "where": {"Level": "batch"}}, "op": "lt",
+     "right": {"col": "Total (s)", "where": {"Level": "single"}},
+     "factor": 0.5, "scales": ["full"]},
+    {"kind": "cmp", "label": "compression slashes local fetch",
+     "left": {"col": "Local Fetch (s)", "where": {"Level": "compress"}},
+     "op": "lt",
+     "right": {"col": "Local Fetch (s)", "where": {"Level": "batch"}},
+     "factor": 0.2, "scales": ["full"]},
+    {"kind": "cmp", "label": "compression does not hurt total",
+     "left": {"col": "Total (s)", "where": {"Level": "compress"}},
+     "op": "le", "right": {"col": "Total (s)", "where": {"Level": "batch"}},
+     "factor": 1.05, "scales": ["full"]},
+    {"kind": "cmp", "label": "overlap does not hurt total",
+     "left": {"col": "Total (s)", "where": {"Level": "overlap"}},
+     "op": "le",
+     "right": {"col": "Total (s)", "where": {"Level": "compress"}},
+     "factor": 1.1, "scales": ["full"]},
+]
 
 
 def test_table3_rpc_ablation(benchmark):
@@ -52,42 +84,34 @@ def test_table3_rpc_ablation(benchmark):
     engine = GraphEngine(sharded.graph, engine_config(N_MACHINES),
                          sharded=sharded)
     sources = sample_sources(sharded, scale.queries_small, seed=13)
+    metrics: dict = {}
 
     def run_all():
         rows = []
         for opt in (OptLevel.SINGLE, OptLevel.BATCH, OptLevel.COMPRESS,
                     OptLevel.OVERLAP):
-            rows.append(run_level(engine, sources, opt))
+            row, run_metrics = run_level(engine, sources, opt)
+            rows.append(row)
+            metrics.update(run_metrics)
         base = rows[0]["_makespan"]
         for row in rows:
-            row["Speedup"] = f"{base / row.pop('_makespan'):.1f}x"
+            row["Speedup"] = round(base / row.pop("_makespan"), 1)
         return rows
 
-    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    print_and_store(
+    rows, wall = common.timed(benchmark, run_all)
+    common.publish(
         "table3",
         "Table 3: RPC optimization ablation on Friendster "
         f"({N_MACHINES} machines, eps={ABLATION_PARAMS.epsilon:g})",
-        rows,
+        rows, key=("Level",),
+        deterministic=("RPCs",),
+        lower_is_better=("Local Fetch (s)", "Remote Fetch (s)", "Push (s)",
+                         "Total (s)"),
+        higher_is_better=("Speedup",),
+        expectations=EXPECTATIONS, metrics=metrics,
+        wall_s=wall, virtual_cols=("Total (s)",),
     )
     for row in rows:
         benchmark.extra_info[row["Level"]] = (
-            f"total={row['Total (s)']} speedup={row['Speedup']}"
+            f"total={row['Total (s)']} speedup={row['Speedup']}x"
         )
-    by = {r["Level"]: r for r in rows}
-    if assert_shapes():
-        # Batching reduces both RPC count and total time.  (Min-cut
-        # partitioning keeps remote activations rare, so the per-vertex
-        # count is modest even unbatched; the time ratio is the big win.)
-        assert by["batch"]["RPCs"] < 0.5 * by["single"]["RPCs"]
-        assert by["batch"]["Total (s)"] < 0.5 * by["single"]["Total (s)"]
-        # Compression's robust signatures: the zero-copy local path slashes
-        # local fetch by an order of magnitude, and the total improves.
-        # (The remote-fetch column mixes modeled transfer with *measured*
-        # handler time, so run-to-run compute noise can wash out its
-        # per-tensor savings at bench scale — not asserted.)
-        assert (by["compress"]["Local Fetch (s)"]
-                < 0.2 * by["batch"]["Local Fetch (s)"])
-        assert by["compress"]["Total (s)"] <= 1.05 * by["batch"]["Total (s)"]
-        # Overlap improves (or at least does not hurt) the total.
-        assert by["overlap"]["Total (s)"] <= 1.1 * by["compress"]["Total (s)"]

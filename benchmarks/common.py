@@ -10,17 +10,29 @@ Scale policy
 
 The default is ``full`` because several of the paper's orderings (Forward
 Push vs. power iteration, tensor |V|-proportional costs) only separate from
-interpreter noise once graphs reach the stand-in sizes; sub-scale runs
-print their tables but skip the shape assertions.
+interpreter noise once graphs reach the stand-in sizes; each bench declares
+*which* of its expectations hold at which scales.
 
-Dataset generation and partitioning are cached per process (and graphs per
-disk cache), so sweeps reuse shards.  Every bench writes its result table to
-``benchmarks/results/<name>.txt`` for inspection and for EXPERIMENTS.md.
+Dataset generation and partitioning are cached per process **keyed on the
+resolved scale** (so flipping ``REPRO_BENCH_SCALE`` between calls in one
+process can never serve a stale-scale graph), and graphs are disk-cached.
+
+Every bench publishes two artifacts via :func:`publish`:
+
+* ``benchmarks/results/<name>.txt`` — the human-readable table (as before);
+* ``benchmarks/results/<name>.json`` — a schema-valid
+  :class:`repro.obs.bench.BenchReport` with typed rows, the run's scale /
+  git revision / environment fingerprint, a deterministic-vs-wall field
+  split, declarative expectations, and (optionally) an embedded metrics
+  snapshot.  ``repro.cli bench`` aggregates these into ``BENCH_<scale>.json``
+  trajectories and diffs them against committed baselines — see
+  ``docs/benchmarking.md``.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
@@ -28,6 +40,7 @@ from pathlib import Path
 from repro.engine import EngineConfig
 from repro.graph import load_dataset
 from repro.graph.stats import format_table
+from repro.obs.bench import BenchReport, evaluate_expectations, write_report
 from repro.partition import MetisLitePartitioner
 from repro.storage import build_shards
 
@@ -61,16 +74,24 @@ def bench_scale() -> BenchScale:
     return _SCALES[name]
 
 
-@lru_cache(maxsize=None)
 def get_graph(name: str):
     """Dataset stand-in at the current bench scale (disk-cached)."""
-    return load_dataset(name, scale=bench_scale().graph_scale)
+    return _get_graph(name, bench_scale())
 
 
 @lru_cache(maxsize=None)
+def _get_graph(name: str, scale: BenchScale):
+    return load_dataset(name, scale=scale.graph_scale)
+
+
 def get_sharded(name: str, n_shards: int):
-    """Partitioned + shard-built graph, memoized per (dataset, K)."""
-    graph = get_graph(name)
+    """Partitioned + shard-built graph, memoized per (dataset, K, scale)."""
+    return _get_sharded(name, n_shards, bench_scale())
+
+
+@lru_cache(maxsize=None)
+def _get_sharded(name: str, n_shards: int, scale: BenchScale):
+    graph = _get_graph(name, scale)
     result = MetisLitePartitioner(seed=0).partition(graph, n_shards)
     return build_shards(graph, result, seed=0)
 
@@ -81,7 +102,11 @@ def engine_config(n_machines: int, procs: int = 1, **kw) -> EngineConfig:
 
 
 def assert_shapes() -> bool:
-    """Whether shape assertions should run (full scale only)."""
+    """Whether shape assertions should run (full scale only).
+
+    Retained for ad-hoc scripts; the benches themselves now carry
+    declarative per-scale ``expectations`` through :func:`publish`.
+    """
     return bench_scale().name == "full"
 
 
@@ -100,3 +125,60 @@ def print_and_store(name: str, title: str, rows: list[dict]) -> str:
     print("\n" + text)
     write_result(name, text)
     return text
+
+
+def _jsonable(v):
+    """Coerce numpy scalars to plain Python so txt and json agree exactly."""
+    if hasattr(v, "item") and not isinstance(v, (str, bytes)):
+        return v.item()
+    return v
+
+
+def timed(benchmark, fn, *args):
+    """Run ``fn`` once under pytest-benchmark; returns (result, wall_s)."""
+    t0 = time.perf_counter()
+    out = benchmark.pedantic(fn, args=args, rounds=1, iterations=1)
+    return out, time.perf_counter() - t0
+
+
+def publish(name: str, title: str, rows: list[dict], *, key,
+            deterministic=(), higher_is_better=(), lower_is_better=(),
+            expectations=(), extra=None, metrics=None,
+            wall_s: float | None = None, virtual_cols=(),
+            check: bool = True) -> BenchReport:
+    """Print + persist a bench's table AND its structured report.
+
+    Writes ``results/<name>.txt`` and ``results/<name>.json``, then
+    evaluates every declarative expectation active at the current scale and
+    raises ``AssertionError`` listing the failures.  ``virtual_cols`` names
+    row columns holding simulated (virtual-time) seconds; their sum is
+    recorded as the report's ``virtual_s`` to split simulated time from the
+    harness's measured ``wall_s``.
+    """
+    rows = [{k: _jsonable(v) for k, v in row.items()} for row in rows]
+    extra = {k: _jsonable(v) for k, v in (extra or {}).items()}
+    metrics = ({k: _jsonable(v) for k, v in metrics.items()}
+               if metrics else None)
+    print_and_store(name, title, rows)
+    virtual_s = None
+    if virtual_cols:
+        virtual_s = float(sum(float(row[c]) for row in rows
+                              for c in virtual_cols if c in row))
+    report = BenchReport(
+        name=name, title=title, scale=bench_scale().name, rows=rows,
+        key=tuple(key), deterministic=tuple(deterministic),
+        higher_is_better=tuple(higher_is_better),
+        lower_is_better=tuple(lower_is_better),
+        expectations=list(expectations),
+        extra=extra, metrics=metrics,
+        wall_s=wall_s, virtual_s=virtual_s,
+    )
+    write_report(RESULTS_DIR / f"{name}.json", report)
+    if check:
+        failures = evaluate_expectations(report.to_dict())
+        if failures:
+            raise AssertionError(
+                f"{len(failures)} expectation(s) failed:\n  "
+                + "\n  ".join(failures)
+            )
+    return report

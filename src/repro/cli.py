@@ -6,9 +6,19 @@ Downstream-friendly entry points for the preprocessing / query pipeline:
 * ``partition``  — partition a graph and persist the sharded result;
 * ``query``      — run an SSPPR batch against a graph or saved shards;
 * ``walk``       — run distributed random walks;
-* ``bench``      — a one-shot engine-vs-baselines comparison;
+* ``bench``      — the benchmark observatory (see ``docs/benchmarking.md``):
+  ``bench run`` executes the suite at a scale and aggregates the structured
+  reports into a ``BENCH_<scale>.json`` trajectory; ``bench report``
+  re-aggregates existing results; ``bench diff`` renders an old-vs-new
+  trajectory comparison; ``bench check`` is the regression gate (non-zero
+  exit naming every offending metric); ``bench lint`` cross-checks the
+  ``.txt``/``.json`` result siblings; ``bench quick`` is the legacy
+  one-shot engine-vs-baselines comparison (a bare ``bench <graph>`` still
+  routes there);
 * ``chaos``      — a clean-vs-faulty run under an injected fault plan;
-* ``profile``    — run a traced batch and export a Chrome trace + metrics.
+* ``profile``    — run a traced batch and export metrics as a Chrome trace
+  (``--format chrome``), machine-readable JSON (``stats``), or an aligned
+  text table (``table``).
 
 Graphs are referenced either by stand-in dataset name
 (``products|twitter|friendster|papers``, with ``--scale``) or by a ``.npz``
@@ -33,6 +43,11 @@ from repro.ppr import DegradationMode, PPRParams
 from repro.rpc import RetryPolicy
 from repro.simt import CrashWindow, FaultPlan
 from repro.storage.persist import load_sharded, save_sharded
+
+#: repository layout anchors for the bench observatory subcommands
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+_BENCHMARKS_DIR = _REPO_ROOT / "benchmarks"
+_RESULTS_DIR = _BENCHMARKS_DIR / "results"
 
 
 def _load_graph(args) -> tuple[str, object]:
@@ -129,7 +144,7 @@ def cmd_walk(args) -> int:
     return 0
 
 
-def cmd_bench(args) -> int:
+def cmd_bench_quick(args) -> int:
     engine = _engine_from_args(args)
     params = PPRParams(alpha=args.alpha, epsilon=args.epsilon)
     run_e = engine.run(RunRequest(n_queries=args.queries, params=params,
@@ -144,6 +159,146 @@ def cmd_bench(args) -> int:
                        ("PPR Engine (multi-query)", run_b),
                        ("PyTorch-Tensor baseline", run_t)):
         print(f"{label:<24} {run.throughput:>10.1f} {run.remote_requests:>8}")
+    return 0
+
+
+def _trajectory_from_results(results_dir: Path, scale: str) -> dict:
+    from repro.obs import bench as obs_bench
+
+    reports = obs_bench.load_reports(results_dir)
+    at_scale = [d for d in reports if d["scale"] == scale]
+    if not at_scale:
+        raise SystemExit(
+            f"error: no {scale}-scale reports under {results_dir} "
+            f"(found scales: {sorted({d['scale'] for d in reports})})"
+        )
+    return obs_bench.build_trajectory(at_scale, scale)
+
+
+def cmd_bench_run(args) -> int:
+    """Run the suite at a scale, then aggregate the structured reports."""
+    from repro.obs import bench as obs_bench
+
+    code = obs_bench.run_suite(
+        args.benchmarks_dir, args.scale, select=args.select,
+        repo_root=_REPO_ROOT,
+    )
+    if code != 0:
+        print(f"bench run: suite FAILED (pytest exit {code}); "
+              "trajectory not written")
+        return code
+    if args.select:
+        print("bench run: partial suite (--select) — trajectory not "
+              "written; use 'bench report' to aggregate manually")
+        return 0
+    trajectory = _trajectory_from_results(Path(args.results_dir), args.scale)
+    path = obs_bench.write_trajectory(args.out or
+                                      _REPO_ROOT / f"BENCH_{args.scale}.json",
+                                      trajectory)
+    print(f"bench run: {len(trajectory['benches'])} benches at "
+          f"scale={args.scale} -> {path}")
+    return 0
+
+
+def cmd_bench_report(args) -> int:
+    """Aggregate existing results/*.json into a trajectory + summary."""
+    from repro.obs import bench as obs_bench
+
+    trajectory = _trajectory_from_results(Path(args.results_dir), args.scale)
+    rows = []
+    for name, b in sorted(trajectory["benches"].items()):
+        n_det = sum(
+            1 for rec in b["records"].values()
+            for col in rec if col in set(b["deterministic"])
+        ) + len(set(b["deterministic"]) & set(b["extra"]))
+        n_fields = sum(len(rec) for rec in b["records"].values())
+        rows.append({"bench": name, "rows": b["n_rows"],
+                     "fields": n_fields, "deterministic": n_det})
+    print(format_table(rows))
+    if args.out:
+        path = obs_bench.write_trajectory(args.out, trajectory)
+        print(f"trajectory -> {path}")
+    return 0
+
+
+def cmd_bench_diff(args) -> int:
+    """Readable old-vs-new comparison of two trajectory files."""
+    from repro.obs import bench as obs_bench
+
+    base = obs_bench.load_trajectory(args.baseline)
+    if args.current:
+        cur = obs_bench.load_trajectory(args.current)
+    else:
+        cur = _trajectory_from_results(Path(args.results_dir), base["scale"])
+    print(obs_bench.render_diff(base, cur, wall_rtol=args.wall_rtol))
+    return 0
+
+
+def cmd_bench_check(args) -> int:
+    """The regression gate: current results vs the committed baseline.
+
+    Exit 1 — naming every offending metric — when a deterministic field
+    drifts from the baseline, a stored expectation fails, or the .txt/.json
+    result siblings disagree.  Wall-clock fields only gate when
+    ``--wall-rtol`` is given.
+    """
+    from repro.obs import bench as obs_bench
+
+    baseline_path = Path(args.baseline) if args.baseline \
+        else _REPO_ROOT / f"BENCH_{args.scale}.json"
+    base = obs_bench.load_trajectory(baseline_path)
+    if args.baseline is None and base["scale"] != args.scale:
+        raise SystemExit(
+            f"error: {baseline_path} records scale={base['scale']!r}, "
+            f"expected {args.scale!r}"
+        )
+    results_dir = Path(args.results_dir)
+    reports = obs_bench.load_reports(results_dir)
+    at_scale = [d for d in reports if d["scale"] == base["scale"]]
+    cur = obs_bench.build_trajectory(at_scale, base["scale"])
+
+    deltas = obs_bench.compare_trajectories(base, cur,
+                                            wall_rtol=args.wall_rtol)
+    regressions = obs_bench.regressions(deltas)
+    expectation_failures = [
+        msg for d in at_scale for msg in obs_bench.evaluate_expectations(d)
+    ]
+    lint_problems = [] if args.no_lint \
+        else obs_bench.lint_results(results_dir)
+
+    for d in regressions:
+        print("REGRESSION " + d.describe())
+    for msg in expectation_failures:
+        print(f"EXPECTATION {msg}")
+    for msg in lint_problems:
+        print(f"LINT {msg}")
+    n_bad = len(regressions) + len(expectation_failures) + len(lint_problems)
+    if n_bad:
+        print(f"bench check FAILED vs {baseline_path}: "
+              f"{len(regressions)} regression(s), "
+              f"{len(expectation_failures)} expectation failure(s), "
+              f"{len(lint_problems)} lint problem(s)")
+        return 1
+    n_fields = sum(len(rec) for b in base["benches"].values()
+                   for rec in b["records"].values())
+    print(f"bench check OK vs {baseline_path}: "
+          f"{len(base['benches'])} benches, {n_fields} fields, "
+          f"{len(deltas)} tolerated drift(s)")
+    return 0
+
+
+def cmd_bench_lint(args) -> int:
+    """Cross-check every results/<name>.txt against its .json sibling."""
+    from repro.obs import bench as obs_bench
+
+    problems = obs_bench.lint_results(Path(args.results_dir))
+    for msg in problems:
+        print(f"LINT {msg}")
+    if problems:
+        print(f"bench lint: {len(problems)} problem(s)")
+        return 1
+    n = len(list(Path(args.results_dir).glob("*.json")))
+    print(f"bench lint OK: {n} report(s) agree with their .txt tables")
     return 0
 
 
@@ -189,7 +344,9 @@ def cmd_chaos(args) -> int:
 
 
 def cmd_profile(args) -> int:
-    """Traced run: Chrome trace JSON out, metrics table to stdout."""
+    """Traced run; ``--format`` picks the export surface."""
+    import json as _json
+
     from repro.obs import text_table, write_chrome_trace
 
     engine = _engine_from_args(args)
@@ -198,6 +355,19 @@ def cmd_profile(args) -> int:
         n_queries=args.queries, params=params, seed=args.seed,
         mode=args.mode, trace=True, trace_rpc=True,
     ))
+    if args.format == "stats":
+        # machine-readable: the flat metrics snapshot plus phase seconds
+        print(_json.dumps({"metrics": run.metrics,
+                           "phases": run.phases,
+                           "makespan_s": run.makespan,
+                           "n_queries": run.n_queries}, indent=1))
+        return 0
+    if args.format == "table":
+        print(text_table(run.metrics, title="metrics"))
+        print("phases: " + ", ".join(
+            f"{k}={v * 1e3:.2f}ms" for k, v in run.phases.items()
+        ))
+        return 0
     cfg = engine.config
     machine_of = {cfg.server_name(m): m for m in range(cfg.n_machines)}
     machine_of.update({
@@ -260,12 +430,69 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--length", type=int, default=8)
     p.set_defaults(fn=cmd_walk)
 
-    p = sub.add_parser("bench", help="engine vs baselines, one shot")
-    add_engine_args(p)
-    p.add_argument("--queries", type=int, default=8)
-    p.add_argument("--alpha", type=float, default=0.462)
-    p.add_argument("--epsilon", type=float, default=1e-6)
-    p.set_defaults(fn=cmd_bench)
+    p = sub.add_parser("bench",
+                       help="benchmark observatory: run/report/diff/check")
+    bsub = p.add_subparsers(dest="bench_command", required=True)
+
+    b = bsub.add_parser("quick", help="engine vs baselines, one shot")
+    add_engine_args(b)
+    b.add_argument("--queries", type=int, default=8)
+    b.add_argument("--alpha", type=float, default=0.462)
+    b.add_argument("--epsilon", type=float, default=1e-6)
+    b.set_defaults(fn=cmd_bench_quick)
+
+    def add_results_dir(b):
+        b.add_argument("--results-dir", default=str(_RESULTS_DIR),
+                       help="directory of per-bench report JSONs")
+
+    b = bsub.add_parser("run",
+                        help="run the bench suite, aggregate a trajectory")
+    b.add_argument("--scale", default="tiny",
+                   choices=("tiny", "small", "full"))
+    b.add_argument("--select", default=None,
+                   help="pytest -k expression to run a subset")
+    b.add_argument("--benchmarks-dir", default=str(_BENCHMARKS_DIR))
+    add_results_dir(b)
+    b.add_argument("--out", default=None,
+                   help="trajectory output (default BENCH_<scale>.json)")
+    b.set_defaults(fn=cmd_bench_run)
+
+    b = bsub.add_parser("report",
+                        help="summarize the stored per-bench reports")
+    b.add_argument("--scale", default="tiny",
+                   choices=("tiny", "small", "full"))
+    add_results_dir(b)
+    b.add_argument("--out", default=None,
+                   help="also write the aggregated trajectory here")
+    b.set_defaults(fn=cmd_bench_report)
+
+    b = bsub.add_parser("diff", help="render baseline vs current trajectory")
+    b.add_argument("baseline", help="baseline trajectory JSON")
+    b.add_argument("current", nargs="?", default=None,
+                   help="current trajectory JSON (default: rebuild "
+                        "from --results-dir)")
+    add_results_dir(b)
+    b.add_argument("--wall-rtol", type=float, default=None,
+                   help="gate wall-clock fields at this relative tolerance")
+    b.set_defaults(fn=cmd_bench_diff)
+
+    b = bsub.add_parser("check",
+                        help="regression gate: exit 1 on any regression")
+    b.add_argument("--scale", default="tiny",
+                   choices=("tiny", "small", "full"))
+    b.add_argument("--baseline", default=None,
+                   help="baseline trajectory (default BENCH_<scale>.json)")
+    add_results_dir(b)
+    b.add_argument("--wall-rtol", type=float, default=None,
+                   help="gate wall-clock fields at this relative tolerance")
+    b.add_argument("--no-lint", action="store_true",
+                   help="skip the txt/json consistency linter")
+    b.set_defaults(fn=cmd_bench_check)
+
+    b = bsub.add_parser("lint",
+                        help="check results/*.txt against *.json siblings")
+    add_results_dir(b)
+    b.set_defaults(fn=cmd_bench_lint)
 
     p = sub.add_parser("chaos", help="clean vs faulty run, one shot")
     add_engine_args(p)
@@ -300,11 +527,28 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("engine", "tensor", "batched"))
     p.add_argument("--out", default="trace.json",
                    help="Chrome trace_event JSON output path")
+    p.add_argument("--format", default="chrome",
+                   choices=("chrome", "stats", "table"),
+                   help="chrome: trace file + tables; stats: metrics JSON "
+                        "to stdout; table: metrics table only")
     p.set_defaults(fn=cmd_profile)
     return parser
 
 
+BENCH_SUBCOMMANDS = {"quick", "run", "report", "diff", "check", "lint"}
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    # legacy spelling: `repro bench <graph> ...` meant the one-shot
+    # engine-vs-baselines comparison, now `bench quick`
+    if argv and argv[0] == "bench" and (
+        len(argv) == 1
+        or argv[1] not in BENCH_SUBCOMMANDS | {"-h", "--help"}
+    ):
+        argv.insert(1, "quick")
     args = build_parser().parse_args(argv)
     return args.fn(args)
 

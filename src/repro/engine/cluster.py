@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.engine.config import EngineConfig
 from repro.errors import SimulationError
-from repro.obs import Obs
+from repro.obs import DEFAULT_MAX_SPANS, Obs
 from repro.rpc.api import RpcContext
 from repro.rpc.rref import RRef
 from repro.simt.scheduler import Scheduler
@@ -27,7 +27,8 @@ class SimCluster:
 
     def __init__(self, sharded: ShardedGraph, config: EngineConfig, *,
                  trace_rpc: bool | None = None, fault_plan=None,
-                 retry_policy=None, trace: bool | None = None) -> None:
+                 retry_policy=None, trace: bool | None = None,
+                 max_spans: int | None = None) -> None:
         if sharded.n_shards != config.n_shards:
             raise SimulationError(
                 f"graph has {sharded.n_shards} shards but config expects "
@@ -46,7 +47,8 @@ class SimCluster:
         #: observability bundle shared by this deployment's RPC layer and
         #: every process spawned into it
         self.obs = Obs.create(
-            trace=config.trace_spans if trace is None else trace
+            trace=config.trace_spans if trace is None else trace,
+            max_spans=DEFAULT_MAX_SPANS if max_spans is None else max_spans,
         )
         self.ctx = RpcContext(self.scheduler, config.network, tracer=tracer,
                               fault_plan=fault_plan,

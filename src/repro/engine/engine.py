@@ -153,7 +153,8 @@ class GraphEngine:
                              trace_rpc=request.trace_rpc,
                              fault_plan=request.fault_plan,
                              retry_policy=request.resolved_retry_policy(),
-                             trace=request.trace)
+                             trace=request.trace,
+                             max_spans=request.max_spans)
         assignment = assign_queries(self.sharded, sources,
                                     cfg.procs_per_machine)
         states: dict[int, object] = {}

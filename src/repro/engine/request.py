@@ -67,6 +67,11 @@ class RunRequest:
         the virtual timeline; the config's ``trace_spans`` when ``None``.
         Export with :func:`repro.obs.write_chrome_trace` or
         ``repro.cli profile``.
+    max_spans:
+        Cap on retained spans for a traced run (the earliest spans are
+        kept; overflow is counted in the ``obs.spans_dropped`` metric);
+        ``None`` = the tracer default
+        (:data:`repro.obs.DEFAULT_MAX_SPANS`).
     fault_plan:
         Injected faults for this run (chaos testing); ``None`` = healthy.
     retry_policy:
@@ -87,6 +92,7 @@ class RunRequest:
     seed: int | None = None
     trace_rpc: bool | None = None
     trace: bool | None = None
+    max_spans: int | None = None
     fault_plan: FaultPlan | None = None
     retry_policy: RetryPolicy | None = None
     degradation: DegradationMode = DegradationMode.FAIL_FAST

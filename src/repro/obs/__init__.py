@@ -13,14 +13,28 @@ The design contract the differential tests enforce: the *identical* counters
 appear whether a run used the virtual-time scheduler or the real-thread
 runtime, because both increment this registry at the same logical points.
 
-See ``docs/observability.md`` for the span-name / Figure 6 phase mapping
-and a ``repro.cli profile`` walkthrough.
+:mod:`repro.obs.bench` builds on this layer: structured
+:class:`BenchReport` documents with embedded metrics snapshots, trajectory
+aggregation, baseline comparison and the ``repro.cli bench`` regression
+gate.  See ``docs/observability.md`` for the span-name / Figure 6 phase
+mapping and a ``repro.cli profile`` walkthrough; ``docs/benchmarking.md``
+for the bench observatory.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.bench import (
+    BenchReport,
+    build_trajectory,
+    compare_trajectories,
+    evaluate_expectations,
+    lint_results,
+    merge_reports,
+    render_diff,
+    validate_report,
+)
 from repro.obs.export import chrome_trace, flat_stats, text_table, write_chrome_trace
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -29,7 +43,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
-from repro.obs.spans import Span, SpanTracer
+from repro.obs.spans import DEFAULT_MAX_SPANS, Span, SpanTracer
 
 
 @dataclass
@@ -40,14 +54,23 @@ class Obs:
     tracer: SpanTracer | None = None
 
     @classmethod
-    def create(cls, trace: bool = False) -> "Obs":
-        """A fresh bundle; ``trace=True`` attaches a span tracer."""
-        return cls(metrics=MetricsRegistry(),
-                   tracer=SpanTracer() if trace else None)
+    def create(cls, trace: bool = False,
+               max_spans: int | None = DEFAULT_MAX_SPANS) -> "Obs":
+        """A fresh bundle; ``trace=True`` attaches a span tracer.
+
+        The tracer is linked back to the bundle's registry so spans
+        dropped by the ``max_spans`` cap surface as ``obs.spans_dropped``.
+        """
+        metrics = MetricsRegistry()
+        tracer = SpanTracer(max_spans=max_spans, metrics=metrics) \
+            if trace else None
+        return cls(metrics=metrics, tracer=tracer)
 
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "DEFAULT_MAX_SPANS",
+    "BenchReport",
     "Counter",
     "Gauge",
     "Histogram",
@@ -55,8 +78,15 @@ __all__ = [
     "Obs",
     "Span",
     "SpanTracer",
+    "build_trajectory",
     "chrome_trace",
+    "compare_trajectories",
+    "evaluate_expectations",
     "flat_stats",
+    "lint_results",
+    "merge_reports",
+    "render_diff",
     "text_table",
+    "validate_report",
     "write_chrome_trace",
 ]

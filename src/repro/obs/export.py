@@ -8,6 +8,8 @@ stitching every RPC server span to its client span — the visual arrows that
 show a request leaving one machine's timeline and landing on another's.
 
 Virtual seconds are exported as microseconds (the trace format's unit).
+Timed events are emitted sorted by ``ts`` (metadata first), so each track's
+timestamps are monotone — the property ``tests`` assert on the schema.
 """
 
 from __future__ import annotations
@@ -30,6 +32,7 @@ def chrome_trace(tracer: SpanTracer,
     machine_of = machine_of or {}
     processes = sorted({s.process for s in tracer.spans})
     tids = {p: i + 1 for i, p in enumerate(processes)}
+    meta: list[dict] = []
     events: list[dict] = []
 
     pids_seen = set()
@@ -37,10 +40,10 @@ def chrome_trace(tracer: SpanTracer,
         pid = int(machine_of.get(p, 0))
         if pid not in pids_seen:
             pids_seen.add(pid)
-            events.append({"ph": "M", "name": "process_name", "pid": pid,
-                           "tid": 0, "args": {"name": f"machine {pid}"}})
-        events.append({"ph": "M", "name": "thread_name", "pid": pid,
-                       "tid": tids[p], "args": {"name": p}})
+            meta.append({"ph": "M", "name": "process_name", "pid": pid,
+                         "tid": 0, "args": {"name": f"machine {pid}"}})
+        meta.append({"ph": "M", "name": "thread_name", "pid": pid,
+                     "tid": tids[p], "args": {"name": p}})
 
     client_spans = {s.span_id: s for s in tracer.spans if s.kind == "client"}
     for s in tracer.spans:
@@ -64,7 +67,8 @@ def chrome_trace(tracer: SpanTracer,
             events.append({"ph": "f", "bp": "e", "name": "rpc", "cat": "rpc",
                            "id": s.link, "ts": s.start * 1e6,
                            "pid": pid, "tid": tids[s.process]})
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+    events.sort(key=lambda e: e["ts"])  # stable: ties keep record order
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
 
 
 def write_chrome_trace(path: str | Path, tracer: SpanTracer,

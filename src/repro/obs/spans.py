@@ -42,11 +42,30 @@ class Span:
         return self.end - self.start
 
 
-class SpanTracer:
-    """Collects spans; hands out ids; tracks one open-span stack per process."""
+#: default cap on retained spans — long bench/chaos runs record millions of
+#: intervals; past the cap new spans are counted but not stored
+DEFAULT_MAX_SPANS = 262_144
 
-    def __init__(self) -> None:
+
+class SpanTracer:
+    """Collects spans; hands out ids; tracks one open-span stack per process.
+
+    ``max_spans`` bounds memory: once the list reaches the cap, further
+    spans are *dropped* (the earliest spans are kept — the start of a run
+    is usually the interesting part of a trace) and counted in
+    ``dropped``; when a :class:`~repro.obs.metrics.MetricsRegistry` is
+    attached, every drop also increments the ``obs.spans_dropped`` counter.
+    ``max_spans=None`` disables the cap.
+    """
+
+    def __init__(self, max_spans: int | None = DEFAULT_MAX_SPANS,
+                 metrics=None) -> None:
+        if max_spans is not None and max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1 or None, got {max_spans}")
         self.spans: list[Span] = []
+        self.max_spans = max_spans
+        self.dropped = 0
+        self.metrics = metrics
         self._lock = threading.Lock()
         self._next = 1
         self._stacks: dict[str, list[int]] = {}
@@ -72,11 +91,19 @@ class SpanTracer:
         """Append a completed span; returns its id."""
         if span_id is None:
             span_id = self.next_id()
-        span = Span(span_id=span_id, name=name, process=process,
-                    start=start, end=end, parent_id=parent_id, kind=kind,
-                    link=link, attrs=attrs or {})
         with self._lock:
-            self.spans.append(span)
+            if self.max_spans is not None and len(self.spans) >= self.max_spans:
+                self.dropped += 1
+                drop = True
+            else:
+                self.spans.append(Span(
+                    span_id=span_id, name=name, process=process,
+                    start=start, end=end, parent_id=parent_id, kind=kind,
+                    link=link, attrs=attrs or {},
+                ))
+                drop = False
+        if drop and self.metrics is not None:
+            self.metrics.inc("obs.spans_dropped")
         return span_id
 
     def span(self, process: str, name: str, clock: Callable[[], float],

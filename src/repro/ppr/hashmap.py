@@ -124,8 +124,13 @@ class ShardedMap:
         # Straggler rounds on shrinking subsets.
         pslot = slot[pending]
         pkeys = keys[pending]
-        safety = 0
+        rounds = 1
         while len(pending):
+            # After submap_cap probes a key has inspected its entire
+            # submap: anything still pending is definitively absent (a
+            # completely full submap has no empty slot to terminate on).
+            if rounds >= self._submap_cap:
+                break
             pslot = self._advance(pslot)
             cur = self._keys[pslot]
             hit = cur == pkeys
@@ -133,9 +138,7 @@ class ShardedMap:
             alive = ~hit & (cur != _EMPTY)
             pending, pslot, pkeys = pending[alive], pslot[alive], pkeys[alive]
             self.probe_rounds += 1
-            safety += 1
-            if safety > 4 * self._submap_cap:  # pragma: no cover - safety net
-                raise RuntimeError("hash table probe overflow during lookup")
+            rounds += 1
         return out
 
     def get_or_insert(self, keys) -> tuple[np.ndarray, np.ndarray]:
@@ -199,8 +202,15 @@ class ShardedMap:
             pslot = self._advance(pslot[alive])
             self.probe_rounds += 1
             safety += 1
-            if safety > 4 * self._submap_cap:  # pragma: no cover - safety net
-                raise RuntimeError("hash table probe overflow during insert")
+            if safety >= self._submap_cap and len(pending):
+                # A key probed its whole submap without a hit or an empty
+                # slot: the submap is full even though *global* load is
+                # under max_load (skewed hashing).  Grow and re-probe the
+                # stragglers — placements survive rehash (dense indices
+                # never move), so already-resolved outputs stay valid.
+                self._grow()
+                pslot = self._start_slots(pkeys)
+                safety = 0
         return out, new_mask
 
     # -- internals ----------------------------------------------------------
@@ -236,7 +246,12 @@ class ShardedMap:
         pending = np.arange(self._n)
         pslot = self._start_slots(old_keys)
         pkeys = old_keys
+        rounds = 0
         while len(pending):
+            if rounds >= self._submap_cap:  # pragma: no cover - extreme skew
+                # One submap is full even at the quadrupled capacity;
+                # quadruple again (re-places everything off the dense side).
+                return self._grow()
             cur = self._keys[pslot]
             empty = cur == _EMPTY
             cand = pending[empty]
@@ -249,3 +264,4 @@ class ShardedMap:
             alive = ~resolved
             pending, pkeys = pending[alive], pkeys[alive]
             pslot = self._advance(pslot[alive])
+            rounds += 1

@@ -1,0 +1,74 @@
+"""Tiny-scale smoke run of the whole bench suite (slow, excluded tier-1).
+
+Executes every ``benchmarks/bench_*.py`` at ``REPRO_BENCH_SCALE=tiny`` in a
+subprocess (the same path ``repro.cli bench run`` takes) and asserts each
+bench emitted a schema-valid ``results/<name>.json`` whose stored
+expectations hold, the ``.txt`` siblings agree, and the aggregate builds a
+valid trajectory.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.obs.bench import (
+    build_trajectory,
+    evaluate_expectations,
+    lint_results,
+    load_reports,
+    run_suite,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCHMARKS_DIR = REPO_ROOT / "benchmarks"
+RESULTS_DIR = BENCHMARKS_DIR / "results"
+
+pytestmark = pytest.mark.slow
+
+
+def bench_names() -> set[str]:
+    # every publish() call's first literal argument is the report name
+    names = set()
+    for path in BENCHMARKS_DIR.glob("bench_*.py"):
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "publish"
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)):
+                names.add(node.args[0].value)
+    return names
+
+
+@pytest.fixture(scope="module")
+def suite_run():
+    rc = run_suite(BENCHMARKS_DIR, "tiny", repo_root=REPO_ROOT)
+    assert rc == 0, "tiny-scale bench suite failed"
+    return load_reports(RESULTS_DIR)
+
+
+def test_every_bench_emits_valid_report(suite_run):
+    expected = bench_names()
+    assert expected, "no publish() calls found under benchmarks/"
+    produced = {d["name"] for d in suite_run if d["scale"] == "tiny"}
+    assert expected <= produced
+    for d in suite_run:
+        assert d["rows"], d["name"]
+
+
+def test_stored_expectations_hold(suite_run):
+    failures = [msg for d in suite_run for msg in evaluate_expectations(d)]
+    assert failures == []
+
+
+def test_txt_siblings_agree(suite_run):
+    assert lint_results(RESULTS_DIR) == []
+
+
+def test_trajectory_aggregates_all(suite_run):
+    at_tiny = [d for d in suite_run if d["scale"] == "tiny"]
+    traj = build_trajectory(at_tiny, "tiny")
+    assert set(traj["benches"]) == {d["name"] for d in at_tiny}
+    assert all(b["records"] for b in traj["benches"].values())

@@ -322,6 +322,84 @@ class TestCrashedPhase:
         assert run.phases["crashed"] == 0.0
 
 
+class TestSpanCap:
+    def test_cap_drops_and_counts(self):
+        tracer = SpanTracer(max_spans=3)
+        for i in range(5):
+            tracer.record(f"s{i}", "p", float(i), float(i) + 0.5)
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        # earliest spans are kept — the start of a run is the useful part
+        assert [s.name for s in tracer.spans] == ["s0", "s1", "s2"]
+
+    def test_dropped_spans_surface_as_metric(self):
+        obs = Obs.create(trace=True, max_spans=2)
+        for i in range(4):
+            obs.tracer.record(f"s{i}", "p", 0.0, 1.0)
+        assert obs.tracer.dropped == 2
+        assert obs.metrics.snapshot()["obs.spans_dropped"] == 2
+
+    def test_uncapped_when_none(self):
+        tracer = SpanTracer(max_spans=None)
+        for i in range(10):
+            tracer.record("s", "p", 0.0, 1.0)
+        assert len(tracer) == 10 and tracer.dropped == 0
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            SpanTracer(max_spans=0)
+
+    def test_capped_traced_run_still_reports(self, engine):
+        run = engine.run(RunRequest(n_queries=4, seed=1, trace=True,
+                                    max_spans=8))
+        assert len(run.obs.tracer) == 8
+        assert run.obs.tracer.dropped > 0
+        assert run.metrics["obs.spans_dropped"] == run.obs.tracer.dropped
+
+
+class TestChromeTraceSchema:
+    """The trace_event contract a real traced run must satisfy."""
+
+    @pytest.fixture(scope="class")
+    def doc(self, engine):
+        run = engine.run(RunRequest(n_queries=5, seed=4, trace=True,
+                                    trace_rpc=True))
+        return chrome_trace(run.obs.tracer)
+
+    def test_required_keys_per_event(self, doc):
+        assert set(doc) >= {"traceEvents", "displayTimeUnit"}
+        for e in doc["traceEvents"]:
+            assert {"name", "ph", "pid", "tid"} <= set(e), e
+            if e["ph"] != "M":  # metadata events carry no timestamp
+                assert "ts" in e and e["ts"] >= 0
+            if e["ph"] == "X":
+                assert "dur" in e and e["dur"] >= 0
+
+    def test_metadata_precedes_events(self, doc):
+        phases = [e["ph"] for e in doc["traceEvents"]]
+        last_meta = max(i for i, p in enumerate(phases) if p == "M")
+        first_event = min(i for i, p in enumerate(phases) if p != "M")
+        assert last_meta < first_event
+
+    def test_ts_monotone_per_track(self, doc):
+        tracks = {}
+        for e in doc["traceEvents"]:
+            if e["ph"] == "X":
+                tracks.setdefault((e["pid"], e["tid"]), []).append(e["ts"])
+        assert tracks
+        for ts in tracks.values():
+            assert ts == sorted(ts)
+
+    def test_flow_ids_pair_client_to_server(self, doc):
+        events = doc["traceEvents"]
+        start_ids = sorted(e["id"] for e in events if e["ph"] == "s")
+        finish_ids = sorted(e["id"] for e in events if e["ph"] == "f")
+        assert start_ids and start_ids == finish_ids
+        client_ids = {e["args"]["span_id"] for e in events
+                      if e["ph"] == "X" and e.get("cat") == "client"}
+        assert set(start_ids) <= client_ids
+
+
 class TestCliProfile:
     def test_profile_writes_linked_chrome_trace(self, tmp_path):
         """Acceptance: a 2-machine profile emits RPC-linked Chrome JSON."""
@@ -345,6 +423,32 @@ class TestCliProfile:
         assert any(e["ph"] == "s" for e in events)
         assert any(e["ph"] == "f" for e in events)
         assert {e["pid"] for e in events if e["ph"] == "X"} == {0, 1}
+
+    def test_profile_format_stats_emits_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(["profile", "products", "--scale", "0.02",
+                   "--machines", "2", "--queries", "2",
+                   "--format", "stats",
+                   "--out", str(tmp_path / "unused.json")])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["n_queries"] == 2
+        assert "rpc.calls" in doc["metrics"]
+        assert "remote_fetch" in doc["phases"]
+        assert not (tmp_path / "unused.json").exists()  # no trace written
+
+    def test_profile_format_table_skips_trace(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(["profile", "products", "--scale", "0.02",
+                   "--machines", "2", "--queries", "2",
+                   "--format", "table",
+                   "--out", str(tmp_path / "unused.json")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out and "phases:" in out
+        assert not (tmp_path / "unused.json").exists()
 
 
 class TestObsBundle:
