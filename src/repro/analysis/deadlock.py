@@ -1,0 +1,129 @@
+"""Scheduler deadlock diagnosis: the wait-for graph.
+
+When the virtual-time scheduler's event queue drains while spawned
+coroutines are still unfinished, somebody is waiting on a future nobody
+will resolve.  The bare fact ("deadlock: processes never finished") names
+the victims but not the cause; :func:`diagnose` reconstructs the wait-for
+graph from each blocked :class:`~repro.simt.process.SimProcess`'s recorded
+``waiting_on`` futures:
+
+* every blocked coroutine is listed with the tags of the unresolved
+  futures it awaits (RPC futures carry ``rpc:<owner>.<method>`` tags,
+  completion futures ``<name>.completion``);
+* futures that are another process's completion become edges, and cycles
+  over those edges — true circular waits — are reported explicitly;
+* everything is deterministic: processes sorted by name, cycles
+  canonicalized to start at their smallest node.
+
+:meth:`~repro.simt.scheduler.Scheduler.run` calls this automatically and
+embeds the rendered report in the :class:`~repro.errors.SimulationError`
+it raises, so a stuck run names the blocked coroutine and the awaited
+future instead of just dying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BlockedCoroutine:
+    """One unfinished process and the unresolved futures it awaits."""
+
+    name: str
+    pending: tuple[str, ...]      # labels of unresolved awaited futures
+    waits_on: tuple[str, ...]     # process names among those futures
+
+    def describe(self) -> str:
+        what = ", ".join(self.pending) if self.pending else \
+            "<no recorded future — never resumed>"
+        suffix = ""
+        if self.waits_on:
+            suffix = " (waits on process " + ", ".join(self.waits_on) + ")"
+        return f"{self.name} awaits {what}{suffix}"
+
+
+@dataclass(frozen=True)
+class DeadlockReport:
+    """Wait-for graph snapshot of a drained-but-unfinished scheduler."""
+
+    blocked: tuple[BlockedCoroutine, ...]
+    cycles: tuple[tuple[str, ...], ...]
+
+    def render(self) -> str:
+        lines = [f"{len(self.blocked)} coroutine(s) blocked with an "
+                 "empty event queue:"]
+        lines.extend(f"  {b.describe()}" for b in self.blocked)
+        for cycle in self.cycles:
+            lines.append("  circular wait: " + " -> ".join(cycle + cycle[:1]))
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "blocked": [{"name": b.name, "pending": list(b.pending),
+                         "waits_on": list(b.waits_on)}
+                        for b in self.blocked],
+            "cycles": [list(c) for c in self.cycles],
+        }
+
+
+def _future_label(fut) -> str:
+    tag = getattr(fut, "tag", None)
+    return tag if tag else f"<untagged {type(fut).__name__}>"
+
+
+def diagnose(scheduler) -> DeadlockReport | None:
+    """Build the wait-for graph of a drained scheduler; None if no one is stuck.
+
+    Duck-typed over the scheduler's ``processes`` mapping so this module
+    imports nothing from :mod:`repro.simt` (the scheduler imports *us*
+    lazily when it detects the stall).
+    """
+    completion_owner = {
+        id(proc.completion): name
+        for name, proc in scheduler.processes.items()
+        if getattr(proc, "completion", None) is not None
+    }
+    blocked: list[BlockedCoroutine] = []
+    edges: dict[str, list[str]] = {}
+    for name in sorted(scheduler.processes):
+        proc = scheduler.processes[name]
+        if getattr(proc, "_body", None) is None or proc.finished:
+            continue
+        pending = tuple(
+            _future_label(f) for f in getattr(proc, "waiting_on", ())
+            if not f.done
+        )
+        waits_on = tuple(
+            completion_owner[id(f)] for f in getattr(proc, "waiting_on", ())
+            if not f.done and id(f) in completion_owner
+        )
+        blocked.append(BlockedCoroutine(name=name, pending=pending,
+                                        waits_on=waits_on))
+        edges[name] = list(waits_on)
+    if not blocked:
+        return None
+    return DeadlockReport(blocked=tuple(blocked),
+                          cycles=_find_cycles(edges))
+
+
+def _find_cycles(edges: dict[str, list[str]]) -> tuple[tuple[str, ...], ...]:
+    """Distinct cycles over the wait-for edges, canonicalized and sorted."""
+    seen: set[tuple[str, ...]] = set()
+    for start in sorted(edges):
+        path: list[str] = []
+        index: dict[str, int] = {}
+        node = start
+        while True:
+            if node in index:  # followed an edge back into the path
+                cycle = tuple(path[index[node]:])
+                pivot = cycle.index(min(cycle))
+                seen.add(cycle[pivot:] + cycle[:pivot])
+                break
+            index[node] = len(path)
+            path.append(node)
+            nxt = [n for n in edges.get(node, ()) if n in edges]
+            if not nxt:  # dead end — no cycle along this walk
+                break
+            node = nxt[0]
+    return tuple(sorted(seen))

@@ -1,0 +1,70 @@
+"""The repo-specific rule registry (REP001–REP006).
+
+Determinism rules (:mod:`repro.analysis.rules.determinism`):
+
+* **REP001** — wall-clock calls outside the sanctioned
+  ``utils/timer.py`` shims;
+* **REP002** — unseeded randomness outside ``utils/rng.py``;
+* **REP003** — ordering-nondeterministic iteration (``set`` /
+  ``dict.keys()``) in scheduling / RPC dispatch / partition paths.
+
+Concurrency rules (:mod:`repro.analysis.rules.concurrency`):
+
+* **REP004** — statically unsizeable payloads at ``rpc_async`` /
+  ``rpc`` call sites (cross-checked against the
+  :mod:`repro.rpc.serialization` cost model);
+* **REP005** — blocking calls inside simt coroutines;
+* **REP006** — broad ``except`` clauses that can swallow injected faults
+  in retry paths.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.concurrency import (
+    Rep004UnsizeablePayload,
+    Rep005BlockingCall,
+    Rep006BroadExcept,
+)
+from repro.analysis.rules.determinism import (
+    Rep001WallClock,
+    Rep002UnseededRandomness,
+    Rep003UnorderedIteration,
+)
+
+#: every registered rule, in ID order
+ALL_RULES = (
+    Rep001WallClock(),
+    Rep002UnseededRandomness(),
+    Rep003UnorderedIteration(),
+    Rep004UnsizeablePayload(),
+    Rep005BlockingCall(),
+    Rep006BroadExcept(),
+)
+
+ALL_RULE_IDS = tuple(rule.id for rule in ALL_RULES)
+
+
+def get_rules(ids=None):
+    """Resolve rule IDs to rule instances (all rules when ``ids`` is None)."""
+    if not ids:
+        return list(ALL_RULES)
+    by_id = {rule.id: rule for rule in ALL_RULES}
+    unknown = [i for i in ids if i not in by_id]
+    if unknown:
+        raise KeyError(
+            f"unknown rule id(s) {unknown}; known: {list(by_id)}"
+        )
+    return [by_id[i] for i in ids]
+
+
+__all__ = [
+    "ALL_RULES",
+    "ALL_RULE_IDS",
+    "Rep001WallClock",
+    "Rep002UnseededRandomness",
+    "Rep003UnorderedIteration",
+    "Rep004UnsizeablePayload",
+    "Rep005BlockingCall",
+    "Rep006BroadExcept",
+    "get_rules",
+]

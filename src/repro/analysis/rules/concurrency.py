@@ -1,0 +1,214 @@
+"""Concurrency rules: RPC payloads, blocking calls, swallowed faults.
+
+These guard the runtime-equivalence contract between the virtual-time
+scheduler and :class:`~repro.rpc.thread_runtime.ThreadRuntime`: payloads
+must be sizeable by the RPC cost model on both runtimes, coroutines must
+suspend only through simt effects (a real block stalls one runtime but not
+the other), and injected faults must reach the retry layer instead of
+dying in a broad ``except``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint import FileContext, Rule, Violation
+
+#: RRef dispatch surfaces whose arguments travel as RPC payloads
+RPC_CALL_ATTRS = ("rpc_async", "rpc")
+
+#: canonical names whose call blocks the OS thread
+BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "os.system",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "socket.create_connection",
+})
+
+#: attribute names that are file I/O regardless of receiver
+FILE_IO_ATTRS = frozenset({
+    "read_text", "write_text", "read_bytes", "write_bytes",
+})
+
+BROAD_EXCEPTION_NAMES = ("Exception", "BaseException")
+
+
+class Rep004UnsizeablePayload(Rule):
+    """Arguments at ``rpc_async``/``rpc`` call sites the cost model rejects.
+
+    Every RPC argument is priced by
+    :func:`repro.rpc.serialization.payload_sizes`; a payload it cannot size
+    (lambdas, generators, arbitrary objects without ``rpc_payload()``)
+    raises at dispatch on both runtimes.  Literal arguments are
+    cross-checked against the cost model itself at lint time; lambdas and
+    generator expressions are rejected outright.
+    """
+
+    id = "REP004"
+    title = "statically unsizeable RPC payload"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or \
+                    not isinstance(node.func, ast.Attribute) or \
+                    node.func.attr not in RPC_CALL_ATTRS:
+                continue
+            values = list(node.args) + [kw.value for kw in node.keywords]
+            for arg in values:
+                if isinstance(arg, ast.Starred):
+                    arg = arg.value
+                hit = self._check_arg(arg)
+                if hit is not None:
+                    yield self.violation(
+                        ctx, arg,
+                        f"{node.func.attr}() argument {hit} — the "
+                        "rpc.serialization cost model cannot size it; "
+                        "send arrays/scalars/containers or a type "
+                        "implementing rpc_payload()",
+                    )
+
+    @staticmethod
+    def _check_arg(arg: ast.expr) -> str | None:
+        if isinstance(arg, ast.Lambda):
+            return "is a lambda"
+        if isinstance(arg, ast.GeneratorExp):
+            return "is a generator expression"
+        try:
+            value = ast.literal_eval(arg)
+        except (ValueError, SyntaxError):
+            return None  # not a literal; cannot judge statically
+        from repro.rpc.serialization import payload_sizes
+
+        try:
+            payload_sizes(value)
+        except TypeError as exc:
+            return f"is rejected by payload_sizes ({exc})"
+        return None
+
+
+def _own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested def/class."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_generator(func: ast.AST) -> bool:
+    return any(isinstance(n, (ast.Yield, ast.YieldFrom))
+               for n in _own_nodes(func))
+
+
+def _receiver_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class Rep005BlockingCall(Rule):
+    """Blocking calls inside simt coroutine bodies.
+
+    A driver coroutine suspends only by yielding :mod:`repro.simt.events`
+    effects.  A real block — ``time.sleep``, file I/O, ``queue.get()``
+    with no timeout — freezes the single-threaded virtual-time scheduler
+    and desynchronizes the two runtimes.  Model delays with ``Sleep``/
+    ``Charge`` effects instead; do I/O outside the driver.
+    """
+
+    id = "REP005"
+    title = "blocking call inside a simt coroutine"
+    scope_dirs = ("simt", "rpc", "engine", "ppr", "walk", "storage")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _is_generator(func):
+                continue
+            for node in _own_nodes(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                hit = self._describe_blocking(ctx, node)
+                if hit is not None:
+                    yield self.violation(
+                        ctx, node,
+                        f"{hit} blocks the coroutine {func.name!r} — "
+                        "suspend via simt effects (Sleep/Charge/Wait) "
+                        "and keep I/O out of driver bodies",
+                    )
+
+    @staticmethod
+    def _describe_blocking(ctx: FileContext, node: ast.Call) -> str | None:
+        name = ctx.imports.resolve(node.func)
+        if name in BLOCKING_CALLS:
+            return f"{name}()"
+        if isinstance(node.func, ast.Name) and node.func.id in ("open",
+                                                                "input"):
+            return f"{node.func.id}()"
+        if isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr in FILE_IO_ATTRS:
+                return f".{attr}() file I/O"
+            if attr in ("get", "join", "acquire"):
+                receiver = _receiver_name(node.func.value) or ""
+                looks_blocking = "queue" in receiver.lower() or \
+                    "lock" in receiver.lower() or receiver == "q"
+                has_timeout = any(kw.arg == "timeout"
+                                  for kw in node.keywords)
+                if looks_blocking and not has_timeout:
+                    return f"{receiver}.{attr}() without a timeout"
+        return None
+
+
+class Rep006BroadExcept(Rule):
+    """Broad ``except`` clauses that can swallow injected faults.
+
+    The fault-injection layer raises typed errors
+    (:class:`~repro.errors.RpcTimeoutError`,
+    :class:`~repro.errors.WorkerCrashedError`) that must reach the retry /
+    degradation logic.  A bare ``except`` or ``except Exception`` in an
+    rpc/engine/ppr/simt path that does not re-raise eats those faults and
+    turns a chaos test into a silent wrong answer.  Catch the specific
+    error types, or re-raise (a ``raise`` anywhere in the handler counts).
+    """
+
+    id = "REP006"
+    title = "broad except can swallow injected faults"
+    scope_dirs = ("rpc", "simt", "engine", "ppr")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if any(isinstance(n, ast.Raise) for child in node.body
+                   for n in ast.walk(child)):
+                continue
+            caught = "bare except" if node.type is None else \
+                f"except {ast.unparse(node.type)}"
+            yield self.violation(
+                ctx, node,
+                f"{caught} without re-raise can swallow injected "
+                "RpcTimeoutError/WorkerCrashedError — catch the typed "
+                "fault errors or re-raise",
+            )
+
+    @staticmethod
+    def _is_broad(type_node: ast.expr | None) -> bool:
+        if type_node is None:
+            return True
+        candidates = type_node.elts if isinstance(type_node, ast.Tuple) \
+            else [type_node]
+        return any(isinstance(t, ast.Name) and t.id in BROAD_EXCEPTION_NAMES
+                   for t in candidates)

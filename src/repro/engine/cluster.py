@@ -28,7 +28,7 @@ class SimCluster:
     def __init__(self, sharded: ShardedGraph, config: EngineConfig, *,
                  trace_rpc: bool | None = None, fault_plan=None,
                  retry_policy=None, trace: bool | None = None,
-                 max_spans: int | None = None) -> None:
+                 max_spans: int | None = None, sanitizer=None) -> None:
         if sharded.n_shards != config.n_shards:
             raise SimulationError(
                 f"graph has {sharded.n_shards} shards but config expects "
@@ -50,6 +50,12 @@ class SimCluster:
             trace=config.trace_spans if trace is None else trace,
             max_spans=DEFAULT_MAX_SPANS if max_spans is None else max_spans,
         )
+        #: optional race detector (repro.analysis.race.RaceDetector); the
+        #: engine installs it around the run so ShardedMap accesses are
+        #: recorded — on the single-threaded virtual-time runtime a clean
+        #: run reports zero violations
+        self.sanitizer = sanitizer
+        self.obs.sanitizer = sanitizer
         self.ctx = RpcContext(self.scheduler, config.network, tracer=tracer,
                               fault_plan=fault_plan,
                               retry_policy=retry_policy, obs=self.obs)

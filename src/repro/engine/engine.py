@@ -76,6 +76,12 @@ class QueryRunResult:
     #: the run's Obs bundle; ``obs.tracer`` holds the spans when
     #: ``RunRequest(trace=True)`` (export with repro.obs.write_chrome_trace)
     obs: object = field(repr=False, default=None)
+    #: lockset violations found by the race sanitizer
+    #: (``RunRequest(sanitize=True)``); always empty when sanitize is off,
+    #: and empty on any clean run — the virtual-time runtime is
+    #: single-threaded, so a non-empty list here means instrumentation
+    #: recorded accesses from multiple OS threads without a common lock
+    race_violations: list = field(repr=False, default_factory=list)
 
     def latency_percentiles(self, q=(50, 90, 99)) -> dict[float, float]:
         """Virtual per-query latency percentiles in seconds.
@@ -149,12 +155,19 @@ class GraphEngine:
                                      seed=seed)
         opt = request.opt if request.opt is not None else cfg.opt
 
+        sanitizer = None
+        if request.sanitize:
+            from repro.analysis.race import RaceDetector
+
+            sanitizer = RaceDetector()
+
         cluster = SimCluster(self.sharded, cfg,
                              trace_rpc=request.trace_rpc,
                              fault_plan=request.fault_plan,
                              retry_policy=request.resolved_retry_policy(),
                              trace=request.trace,
-                             max_spans=request.max_spans)
+                             max_spans=request.max_spans,
+                             sanitizer=sanitizer)
         assignment = assign_queries(self.sharded, sources,
                                     cfg.procs_per_machine)
         states: dict[int, object] = {}
@@ -191,7 +204,13 @@ class GraphEngine:
                 )
             cluster.spawn_compute(machine, proc_index, body)
 
-        makespan = cluster.run()
+        if sanitizer is not None:
+            from repro.analysis.race import installed
+
+            with installed(sanitizer):
+                makespan = cluster.run()
+        else:
+            makespan = cluster.run()
         procs = cluster.compute_processes()
         # surface driver failures (fail_fast): result_of re-raises the
         # exception a compute process finished with
@@ -211,6 +230,11 @@ class GraphEngine:
                     obs.metrics.inc(key, int(val))
         if ctx.tracer is not None:
             ctx.tracer.publish(obs.metrics)
+        race_violations: list = []
+        if sanitizer is not None:
+            race_violations = list(sanitizer.report())
+            obs.metrics.inc("sanitizer.accesses", sanitizer.accesses)
+            obs.metrics.inc("sanitizer.violations", len(race_violations))
         return QueryRunResult(
             n_queries=len(sources),
             makespan=makespan,
@@ -229,6 +253,7 @@ class GraphEngine:
             abandoned_mass=fault_stats["abandoned_mass"],
             metrics=obs.metrics.snapshot(),
             obs=obs,
+            race_violations=race_violations,
         )
 
     def run_queries(self, n_queries: int | None = None, *,

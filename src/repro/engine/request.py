@@ -81,6 +81,13 @@ class RunRequest:
         What a query does when a remote fetch exhausts its retries
         (``mode="engine"`` only; the tensor and batched drivers always
         fail fast).
+    sanitize:
+        Attach the lockset race detector
+        (:class:`repro.analysis.race.RaceDetector`) to the run: shared
+        :class:`~repro.ppr.hashmap.ShardedMap` accesses are recorded and
+        lock-discipline violations surface in
+        ``QueryRunResult.race_violations`` plus the ``sanitizer.*``
+        metrics.  Zero-overhead when off (the default).
     """
 
     n_queries: int | None = None
@@ -96,6 +103,7 @@ class RunRequest:
     fault_plan: FaultPlan | None = None
     retry_policy: RetryPolicy | None = None
     degradation: DegradationMode = DegradationMode.FAIL_FAST
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in RUN_MODES:

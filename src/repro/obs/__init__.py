@@ -52,6 +52,9 @@ class Obs:
 
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     tracer: SpanTracer | None = None
+    #: optional race sanitizer (repro.analysis.race.RaceDetector); typed as
+    #: a plain object so obs stays import-independent of the analysis layer
+    sanitizer: object | None = None
 
     @classmethod
     def create(cls, trace: bool = False,

@@ -35,10 +35,11 @@ import os
 import platform
 import subprocess
 import sys
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Mapping
+
+from repro.utils.timer import wall_unix
 
 REPORT_SCHEMA = "repro.bench-report/v1"
 TRAJECTORY_SCHEMA = "repro.bench-trajectory/v1"
@@ -49,6 +50,19 @@ BENCH_SCALES = ("tiny", "small", "full")
 #: are seeded, but BLAS reductions may differ in the last bits across hosts
 DET_RTOL = 1e-6
 DET_ATOL = 1e-9
+
+#: injectable clock for report/trajectory timestamps.  Defaults to the
+#: sanctioned wall_unix shim; tests pin it (set_wall_clock) to make
+#: created_unix deterministic.
+_wall_clock = wall_unix
+
+
+def set_wall_clock(clock=None):
+    """Override the timestamp clock; ``None`` restores :func:`wall_unix`."""
+    global _wall_clock
+    _wall_clock = clock if clock is not None else wall_unix
+    return _wall_clock
+
 
 _CMP_OPS = ("gt", "ge", "lt", "le", "eq", "ne")
 _AGGS = ("only", "first", "last", "min", "max", "mean", "sum")
@@ -134,7 +148,7 @@ class BenchReport:
         if self.git_rev is None:
             self.git_rev = git_revision()
         if not self.created_unix:
-            self.created_unix = time.time()
+            self.created_unix = _wall_clock()
 
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> dict:
@@ -496,7 +510,7 @@ def build_trajectory(reports: Iterable[Mapping], scale: str) -> dict:
         "schema": TRAJECTORY_SCHEMA,
         "scale": scale,
         "git_rev": git_revision(),
-        "created_unix": time.time(),
+        "created_unix": _wall_clock(),
         "env": env_fingerprint(),
         "benches": benches,
     }

@@ -44,6 +44,11 @@ def _mix(keys: np.ndarray) -> np.ndarray:
 class ShardedMap:
     """Open-addressed int64 -> dense-index map with submap partitioning."""
 
+    #: race-sanitizer hook (repro.analysis.race.install).  Class-level and
+    #: None by default: the off path costs one attribute check per *batched*
+    #: call, so instrumentation is zero-overhead when disabled.
+    _sanitizer = None
+
     def __init__(self, *, initial_submap_capacity: int = 2048,
                  n_submaps: int = 16, max_load: float = 0.35) -> None:
         if n_submaps < 1 or n_submaps & (n_submaps - 1):
@@ -108,6 +113,8 @@ class ShardedMap:
 
     def lookup(self, keys) -> np.ndarray:
         """Dense indices of ``keys`` (-1 where missing).  Duplicates OK."""
+        if self._sanitizer is not None:
+            self._sanitizer.record(f"ShardedMap@{id(self):#x}", write=False)
         keys = np.ascontiguousarray(keys, dtype=np.int64)
         self._check_keys(keys)
         n = len(keys)
@@ -147,6 +154,8 @@ class ShardedMap:
         Returns ``(indices, new_mask)`` — ``new_mask`` is True for every
         occurrence of a key first inserted by this call.
         """
+        if self._sanitizer is not None:
+            self._sanitizer.record(f"ShardedMap@{id(self):#x}", write=True)
         keys = np.ascontiguousarray(keys, dtype=np.int64)
         self._check_keys(keys)
         n = len(keys)

@@ -209,7 +209,8 @@ class RpcContext:
                 try:
                     result, start, end = server.serve(arrival, rref.key,
                                                       method, args, kwargs)
-                except BaseException as exc:  # handler failure travels back
+                # repro: allow=REP006 fault travels back via the future
+                except BaseException as exc:
                     fut.set_exception(
                         exc, arrival + self.network.transfer_time(64, 0)
                     )
@@ -303,7 +304,8 @@ class RpcContext:
                 try:
                     result, start, end = server.serve(arrival, rref.key,
                                                       method, args, kwargs)
-                except BaseException as exc:  # handler failure travels back
+                # repro: allow=REP006 fault travels back via the future
+                except BaseException as exc:
                     fut.set_exception(
                         exc, arrival + self.network.transfer_time(64, 0)
                     )

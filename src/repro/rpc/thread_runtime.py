@@ -140,7 +140,7 @@ class ThreadRuntime:
     """
 
     def __init__(self, *, fault_plan=None, retry_policy=None,
-                 obs: Obs | None = None) -> None:
+                 obs: Obs | None = None, sanitize: bool = False) -> None:
         self._workers: dict[str, WorkerInfo] = {}
         self._processes: dict[str, ThreadProcess] = {}
         self._servers: dict[str, _ThreadServer] = {}
@@ -149,6 +149,15 @@ class ThreadRuntime:
         #: drop-only FaultPlan) match RpcContext's — asserted by
         #: tests/test_runtime_differential.py
         self.obs = obs if obs is not None else Obs()
+        #: lockset race detector (repro.analysis.race); shared ShardedMaps
+        #: are instrumented for the runtime's lifetime (until shutdown)
+        self.sanitizer = None
+        if sanitize:
+            from repro.analysis.race import RaceDetector, install
+
+            self.sanitizer = RaceDetector()
+            self.obs.sanitizer = self.sanitizer
+            install(self.sanitizer)
         self.remote_requests = 0
         self.local_calls = 0
         #: fault injection: the *same* FaultPlan drop decisions replay here
@@ -165,7 +174,21 @@ class ThreadRuntime:
         self.timeouts = 0
         self.dropped_messages = 0
         self._call_indices: dict[str, int] = {}
-        self._fault_lock = threading.Lock()
+        if self.sanitizer is not None:
+            self._fault_lock = self.sanitizer.tracked_lock(
+                "ThreadRuntime._fault_lock")
+            self._counter_lock = self.sanitizer.tracked_lock(
+                "ThreadRuntime._counter_lock")
+        else:
+            self._fault_lock = threading.Lock()
+            #: guards the legacy int counters, which many driver threads
+            #: bump concurrently in rref_call
+            self._counter_lock = threading.Lock()
+
+    def _san_record(self, location: str, *, write: bool = True) -> None:
+        """Record a shared-state access when the sanitizer is on."""
+        if self.sanitizer is not None:
+            self.sanitizer.record(location, write=write)
 
     # -- registration (RpcContext-compatible) ------------------------------
     def register_server(self, name: str, machine_id: int,
@@ -221,10 +244,14 @@ class ThreadRuntime:
         metrics = self.obs.metrics
         metrics.inc("rpc.calls")
         if caller_machine == owner_machine:
-            self.local_calls += 1
+            with self._counter_lock:
+                self._san_record("ThreadRuntime.local_calls")
+                self.local_calls += 1
             metrics.inc("rpc.calls_local")
             return ThreadFuture.resolved(fn(*args, **kwargs))
-        self.remote_requests += 1
+        with self._counter_lock:
+            self._san_record("ThreadRuntime.remote_requests")
+            self.remote_requests += 1
         req_bytes, _ = payload_sizes([list(args), kwargs])
         metrics.inc("rpc.calls_remote")
         metrics.inc("rpc.request_bytes", req_bytes)
@@ -236,6 +263,7 @@ class ThreadRuntime:
         if plan is not None and not plan.is_empty():
             policy = self.retry_policy
             with self._fault_lock:
+                self._san_record("ThreadRuntime.fault_counters")
                 call_index = self._call_indices.get(caller_name, 0)
                 self._call_indices[caller_name] = call_index + 1
 
@@ -243,6 +271,7 @@ class ThreadRuntime:
                 for attempt in range(1, policy.max_attempts + 1):
                     if attempt > 1:
                         with self._fault_lock:
+                            self._san_record("ThreadRuntime.fault_counters")
                             self.retries += 1
                         metrics.inc("rpc.retries")
                         metrics.inc("rpc.faults.retry")
@@ -252,6 +281,7 @@ class ThreadRuntime:
                         # Each drop implies one logical timeout firing — the
                         # same accounting the virtual-time timers produce.
                         with self._fault_lock:
+                            self._san_record("ThreadRuntime.fault_counters")
                             self.dropped_messages += 1
                             self.timeouts += 1
                         metrics.inc("rpc.dropped_messages")
@@ -289,8 +319,10 @@ class ThreadRuntime:
 
         def serve() -> Any:
             server.requests_served += 1
+            # repro: allow=REP001 real handler seconds in thread mode
             t0 = time.perf_counter()
             result = fn(*args, **kwargs)
+            # repro: allow=REP001 real handler seconds in thread mode
             elapsed = time.perf_counter() - t0
             resp_bytes, _ = payload_sizes(result)
             metrics.inc("rpc.response_bytes", resp_bytes)
@@ -347,7 +379,8 @@ class ThreadRuntime:
                     send_value = None
                 else:
                     raise SimulationError(f"unknown effect {effect!r}")
-        except BaseException as exc:  # surfaced via join()
+        # repro: allow=REP006 fault is surfaced to the test via join()
+        except BaseException as exc:
             proc.exception = exc
 
     def join(self, timeout: float = 60.0) -> None:
@@ -364,3 +397,7 @@ class ThreadRuntime:
     def shutdown(self) -> None:
         for server in self._servers.values():
             server.shutdown()
+        if self.sanitizer is not None:
+            from repro.analysis.race import uninstall
+
+            uninstall(self.sanitizer)

@@ -36,6 +36,10 @@ class SimProcess:
         self._body = body
         self._finished = False
         self._waiting = False
+        #: futures this process is currently suspended on — the wait-for
+        #: graph edge set read by repro.analysis.deadlock when the
+        #: scheduler drains with unfinished processes
+        self.waiting_on: tuple[SimFuture, ...] = ()
 
     # -- clock ------------------------------------------------------------
     def _advance_clock(self, category: str, dt: float) -> None:
@@ -99,6 +103,7 @@ class SimProcess:
         if self._finished:
             raise SimulationError(f"process {self.name!r} stepped after finish")
         self._waiting = False
+        self.waiting_on = ()
         while True:
             # Virtual time advances only through explicit charges: nested
             # measured() blocks, charge_seconds(), and yielded effects.
@@ -109,6 +114,7 @@ class SimProcess:
             except StopIteration as stop:
                 self._finish(stop.value)
                 return
+            # repro: allow=REP006 faults are re-raised via completion.value()
             except BaseException as exc:
                 self._fail(exc)
                 return
@@ -134,6 +140,7 @@ class SimProcess:
 
     def _wait_one(self, fut: SimFuture) -> None:
         self._waiting = True
+        self.waiting_on = (fut,)
 
         def on_done(f: SimFuture) -> None:
             resume_at = max(self.clock, f.ready_time)
@@ -148,6 +155,7 @@ class SimProcess:
                 self.timer.charge_seconds(category, wait_dt)
                 try:
                     value = f.value()
+                # repro: allow=REP006 fault is forwarded into the coroutine
                 except BaseException as exc:
                     self._throw(exc)
                     return
@@ -159,6 +167,7 @@ class SimProcess:
 
     def _wait_all(self, futs: list[SimFuture]) -> None:
         self._waiting = True
+        self.waiting_on = tuple(futs)
         remaining = len(futs)
         if remaining == 0:
             self.scheduler._schedule(self.clock, lambda: self._step([]))
@@ -180,6 +189,7 @@ class SimProcess:
                 self.timer.charge_seconds(category, wait_dt)
                 try:
                     values = [f.value() for f in futs]
+                # repro: allow=REP006 fault is forwarded into the coroutine
                 except BaseException as exc:
                     self._throw(exc)
                     return
@@ -197,6 +207,7 @@ class SimProcess:
         except StopIteration as stop:
             self._finish(stop.value)
             return
+        # repro: allow=REP006 faults are re-raised via completion.value()
         except BaseException as body_exc:
             self._fail(body_exc)
             return

@@ -101,7 +101,16 @@ class Scheduler:
         stuck = [p.name for p in self.processes.values()
                  if p._body is not None and not p.finished]
         if stuck:
-            raise SimulationError(f"deadlock: processes never finished: {stuck}")
+            # Localize the stall: the wait-for graph names each blocked
+            # coroutine and the future it awaits (lazy import — the
+            # analysis package depends on simt types, not vice versa).
+            from repro.analysis.deadlock import diagnose
+
+            report = diagnose(self)
+            detail = "\n" + report.render() if report is not None else ""
+            raise SimulationError(
+                f"deadlock: processes never finished: {stuck}{detail}"
+            )
         return self._now
 
     # -- results ------------------------------------------------------------

@@ -13,6 +13,17 @@ import time
 from dataclasses import dataclass, field
 
 
+def wall_unix() -> float:
+    """Current Unix time — the sanctioned wall-clock read.
+
+    Deterministic code charges virtual seconds instead of reading clocks;
+    the few places that legitimately need wall time (bench report
+    timestamps, CLI progress timing) go through this shim so the REP001
+    lint rule can allowlist one module rather than scattered call sites.
+    """
+    return time.time()
+
+
 class Stopwatch:
     """Context-manager measuring a wall-clock interval via ``perf_counter``.
 

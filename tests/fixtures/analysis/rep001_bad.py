@@ -1,0 +1,7 @@
+"""REP001 positive fixture: direct wall-clock reads."""
+import time
+from datetime import datetime
+
+start = time.time()
+t1 = time.perf_counter()
+stamp = datetime.now()

@@ -1,0 +1,7 @@
+"""REP001 negative fixture: clocks only via the sanctioned shims."""
+from repro.utils.timer import Stopwatch, wall_unix
+
+stamp = wall_unix()
+with Stopwatch() as sw:
+    total = sum(range(10))
+elapsed = sw.elapsed

@@ -1,0 +1,8 @@
+"""REP002 positive fixture: unseeded / global-state randomness."""
+import random
+
+import numpy as np
+
+rng = np.random.default_rng()
+x = random.random()
+np.random.shuffle([1, 2, 3])

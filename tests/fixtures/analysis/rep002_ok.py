@@ -1,0 +1,7 @@
+"""REP002 negative fixture: every generator is explicitly seeded."""
+import numpy as np
+
+rng = np.random.default_rng(42)
+bitgen = np.random.PCG64(7)
+ss = np.random.SeedSequence(123)
+values = rng.integers(0, 10, size=4)

@@ -1,0 +1,8 @@
+"""REP004 positive fixture: payloads the RPC cost model cannot size."""
+
+
+def dispatch(ref):
+    f1 = ref.rpc_async("apply", lambda x: x + 1)
+    f2 = ref.rpc("transform", (i * i for i in range(4)))
+    f3 = ref.rpc_async("fill", ...)
+    return f1, f2, f3

@@ -1,0 +1,7 @@
+"""REP004 negative fixture: payloads the cost model prices happily."""
+
+
+def dispatch(ref, array):
+    f1 = ref.rpc_async("lookup", [1, 2, 3], {"alpha": 0.5})
+    f2 = ref.rpc("push", array, mode="batched")
+    return f1, f2

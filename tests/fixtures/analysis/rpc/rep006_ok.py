@@ -1,0 +1,16 @@
+"""REP006 negative fixture: typed catches, or broad catch that re-raises."""
+
+
+def typed(call):
+    try:
+        return call()
+    except ValueError:
+        return None
+
+
+def logged_reraise(call, log):
+    try:
+        return call()
+    except Exception as exc:
+        log.append(exc)
+        raise

@@ -1,0 +1,11 @@
+"""REP003 positive fixture: unordered iteration in a scoped (simt/) path."""
+workers = {"w2", "w0", "w1"}
+table = {"a": 1, "b": 2}
+
+for name in {"w2", "w0", "w1"}:
+    print(name)
+
+order = [k for k in table.keys()]
+
+for name in workers | {"w3"}:
+    print(name)

@@ -1,0 +1,11 @@
+"""REP003 negative fixture: dispatch order explicitly pinned."""
+workers = {"w2", "w0", "w1"}
+table = {"a": 1, "b": 2}
+
+for name in sorted(workers):
+    print(name)
+
+order = [k for k in sorted(table)]
+
+for name, value in table.items():
+    print(name, value)

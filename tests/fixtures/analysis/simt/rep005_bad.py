@@ -1,0 +1,10 @@
+"""REP005 positive fixture: blocking calls inside coroutine drivers."""
+import time
+from pathlib import Path
+
+
+def driver(q):
+    time.sleep(0.1)
+    payload = Path("dump.bin").read_bytes()
+    item = q.get()
+    yield payload, item

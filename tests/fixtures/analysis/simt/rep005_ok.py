@@ -1,0 +1,18 @@
+"""REP005 negative fixture: the driver suspends only via simt effects."""
+import time
+
+
+def driver(sleep_effect, wait_effect):
+    yield sleep_effect
+    value = yield wait_effect
+    return value
+
+
+def not_a_coroutine():
+    # blocking is fine outside generator bodies (setup/teardown code)
+    time.sleep(0.0)
+
+
+def driver_with_timeout(q):
+    item = q.get(timeout=0.5)
+    yield item

@@ -44,6 +44,34 @@ def make_report(rows=None, **kw):
     return BenchReport(**defaults)
 
 
+class TestInjectableClock:
+    def test_created_unix_uses_injected_clock(self):
+        from repro.obs.bench import set_wall_clock
+
+        set_wall_clock(lambda: 1234.5)
+        try:
+            rep = BenchReport(name="c", title="Clock", scale="tiny",
+                              rows=[{"K": "a", "V": 1}], key=("K",))
+            assert rep.created_unix == 1234.5
+            traj = build_trajectory([rep.to_dict()], "tiny")
+            assert traj["created_unix"] == 1234.5
+        finally:
+            set_wall_clock(None)
+
+    def test_restored_clock_is_wall_time(self):
+        from repro.obs.bench import set_wall_clock
+        from repro.utils.timer import wall_unix
+
+        assert set_wall_clock(None) is wall_unix
+        rep = BenchReport(name="c", title="Clock", scale="tiny",
+                          rows=[{"K": "a", "V": 1}], key=("K",))
+        assert rep.created_unix > 1.6e9  # a real Unix timestamp
+
+    def test_explicit_created_unix_wins(self):
+        rep = make_report()  # created_unix=1.0 passed explicitly
+        assert rep.created_unix == 1.0
+
+
 class TestReportSchema:
     def test_roundtrip(self, tmp_path):
         rep = make_report(extra={"fitted": 2.5}, metrics={"rpc.calls": 30},

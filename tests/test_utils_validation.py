@@ -99,3 +99,26 @@ class TestRng:
     def test_spawn_negative_rejected(self):
         with pytest.raises(ValueError):
             spawn_rngs(0, -1)
+
+    def test_spawn_from_generator_seed_deterministic(self):
+        # a Generator parent seeds children by jumping its own stream:
+        # identically-seeded parents must yield identical children
+        a = [g.integers(0, 2**32)
+             for g in spawn_rngs(np.random.default_rng(11), 3)]
+        b = [g.integers(0, 2**32)
+             for g in spawn_rngs(np.random.default_rng(11), 3)]
+        assert a == b
+
+    def test_spawn_from_generator_seed_children_distinct(self):
+        streams = spawn_rngs(np.random.default_rng(11), 4)
+        assert len(streams) == 4
+        draws = [tuple(g.integers(0, 2**32, size=4)) for g in streams]
+        assert len(set(draws)) == 4
+
+    def test_spawn_from_generator_advances_parent(self):
+        # the jump consumes parent state, so successive spawns differ —
+        # children are independent of each other, batch to batch
+        parent = np.random.default_rng(11)
+        first = [g.integers(0, 2**32) for g in spawn_rngs(parent, 2)]
+        second = [g.integers(0, 2**32) for g in spawn_rngs(parent, 2)]
+        assert first != second
