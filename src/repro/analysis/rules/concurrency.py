@@ -46,33 +46,117 @@ class Rep004UnsizeablePayload(Rule):
     raises at dispatch on both runtimes.  Literal arguments are
     cross-checked against the cost model itself at lint time; lambdas and
     generator expressions are rejected outright.
+
+    Light dataflow: a plain-name argument assigned exactly once in the
+    enclosing scope is resolved to its assigned value and judged by the
+    same rules, so ``handler = lambda ...; ref.rpc_async("m", handler)`` is
+    caught too.  Names bound more than once, bound by loops/with/walrus
+    targets, or declared global/nonlocal are left unjudged, and a value
+    produced by ``.rpc_payload()`` is accepted as sizeable by
+    construction.
     """
 
     id = "REP004"
     title = "statically unsizeable RPC payload"
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call) or \
-                    not isinstance(node.func, ast.Attribute) or \
-                    node.func.attr not in RPC_CALL_ATTRS:
-                continue
-            values = list(node.args) + [kw.value for kw in node.keywords]
-            for arg in values:
-                if isinstance(arg, ast.Starred):
-                    arg = arg.value
-                hit = self._check_arg(arg)
-                if hit is not None:
-                    yield self.violation(
-                        ctx, arg,
-                        f"{node.func.attr}() argument {hit} — the "
-                        "rpc.serialization cost model cannot size it; "
-                        "send arrays/scalars/containers or a type "
-                        "implementing rpc_payload()",
-                    )
+        for scope in self._scopes(ctx.tree):
+            env = self._scope_env(scope)
+            for node in _own_nodes(scope):
+                if not isinstance(node, ast.Call) or \
+                        not isinstance(node.func, ast.Attribute) or \
+                        node.func.attr not in RPC_CALL_ATTRS:
+                    continue
+                values = list(node.args) + [kw.value for kw in node.keywords]
+                for arg in values:
+                    if isinstance(arg, ast.Starred):
+                        arg = arg.value
+                    hit = self._check_arg(arg, env)
+                    if hit is not None:
+                        yield self.violation(
+                            ctx, arg,
+                            f"{node.func.attr}() argument {hit} — the "
+                            "rpc.serialization cost model cannot size it; "
+                            "send arrays/scalars/containers or a type "
+                            "implementing rpc_payload()",
+                        )
 
     @staticmethod
-    def _check_arg(arg: ast.expr) -> str | None:
+    def _scopes(tree: ast.Module) -> Iterator[ast.AST]:
+        """The module plus every function and class body (however nested).
+
+        ``_own_nodes`` stops at nested definitions, so together the scopes
+        tile the file: every call site is judged exactly once, against the
+        assignment environment of its innermost scope.
+        """
+        yield tree
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                yield node
+
+    @staticmethod
+    def _scope_env(scope: ast.AST) -> dict[str, ast.expr]:
+        """Names assigned exactly once in ``scope``, mapped to their value.
+
+        Only simple single-target assignments qualify; any other binding
+        (re-assignment, loop/with/walrus targets, global/nonlocal) makes
+        the name ambiguous and drops it from the environment.
+        """
+        stores: dict[str, int] = {}
+        banned: set[str] = set()
+        args = getattr(scope, "args", None)
+        if args is not None:
+            for a in [*args.posonlyargs, *args.args, *args.kwonlyargs,
+                      *([args.vararg] if args.vararg else []),
+                      *([args.kwarg] if args.kwarg else [])]:
+                banned.add(a.arg)
+        for node in _own_nodes(scope):
+            if isinstance(node, ast.Name) and \
+                    isinstance(node.ctx, (ast.Store, ast.Del)):
+                stores[node.id] = stores.get(node.id, 0) + 1
+            elif isinstance(node, (ast.Global, ast.Nonlocal)):
+                banned.update(node.names)
+        env: dict[str, ast.expr] = {}
+        for node in _own_nodes(scope):
+            target = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                    isinstance(node.targets[0], ast.Name):
+                target = node.targets[0].id
+            elif isinstance(node, ast.AnnAssign) and \
+                    isinstance(node.target, ast.Name) and \
+                    node.value is not None:
+                target = node.target.id
+            if target is not None and stores.get(target) == 1 and \
+                    target not in banned:
+                env[target] = node.value
+        return env
+
+    @classmethod
+    def _check_arg(cls, arg: ast.expr,
+                   env: dict[str, ast.expr]) -> str | None:
+        hit = cls._judge(arg)
+        if hit is not None:
+            return hit
+        if isinstance(arg, ast.Name):
+            value = env.get(arg.id)
+            if value is None or cls._is_sized_by_construction(value):
+                return None
+            hit = cls._judge(value)
+            if hit is not None:
+                return (f"{hit} (via local {arg.id!r} assigned at "
+                        f"line {value.lineno})")
+        return None
+
+    @staticmethod
+    def _is_sized_by_construction(value: ast.expr) -> bool:
+        """``x = something.rpc_payload()`` results are sizeable tuples."""
+        return (isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr == "rpc_payload")
+
+    @staticmethod
+    def _judge(arg: ast.expr) -> str | None:
         if isinstance(arg, ast.Lambda):
             return "is a lambda"
         if isinstance(arg, ast.GeneratorExp):

@@ -103,15 +103,26 @@ def cmd_partition(args) -> int:
     return 0
 
 
+def _fetch_overrides(args) -> dict:
+    if getattr(args, "no_fetch", False):
+        return {"fetch_split": False, "fetch_cache_bytes": 0,
+                "fetch_coalesce": False}
+    cache_bytes = getattr(args, "fetch_cache_bytes", None)
+    if cache_bytes is not None:
+        return {"fetch_cache_bytes": cache_bytes}
+    return {}
+
+
 def _engine_from_args(args) -> GraphEngine:
+    fetch = _fetch_overrides(args)
     if args.shards:
         sharded = load_sharded(args.shards)
         cfg = EngineConfig(n_machines=sharded.n_shards,
-                           procs_per_machine=args.procs)
+                           procs_per_machine=args.procs, **fetch)
         return GraphEngine(sharded.graph, cfg, sharded=sharded)
     _, graph = _load_graph(args)
     cfg = EngineConfig(n_machines=args.machines,
-                       procs_per_machine=args.procs)
+                       procs_per_machine=args.procs, **fetch)
     return GraphEngine(graph, cfg)
 
 
@@ -129,6 +140,12 @@ def cmd_query(args) -> int:
         f"{k}={v * 1e3:.2f}ms" for k, v in run.phases.items()
     ))
     print(f"RPC: {run.remote_requests} remote, {run.local_calls} local")
+    if run.metrics.get("fetch.requests"):
+        print(f"fetch: {run.metrics.get('fetch.cache_hits', 0)} hot, "
+              f"{run.metrics.get('fetch.halo_hits', 0)} halo, "
+              f"{run.metrics.get('fetch.coalesced', 0)} coalesced, "
+              f"{run.metrics.get('fetch.misses', 0)} misses "
+              f"({run.metrics.get('fetch.bytes_saved', 0)} bytes saved)")
     if args.top > 0 and run.states:
         gid, state = next(iter(run.states.items()))
         gids, values = state.results_global(engine.sharded)
@@ -451,6 +468,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--machines", type=int, default=4)
         p.add_argument("--procs", type=int, default=1)
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--no-fetch", action="store_true",
+                       help="disable the adaptive fetch layer (split + "
+                            "hot-vertex cache + coalescing)")
+        p.add_argument("--fetch-cache-bytes", type=int, default=None,
+                       help="hot-vertex cache budget per machine "
+                            "(0 disables the cache; default 4 MiB)")
 
     p = sub.add_parser("query", help="run SSPPR queries")
     add_engine_args(p)

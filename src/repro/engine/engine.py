@@ -43,6 +43,7 @@ from repro.graph.csr import CSRGraph
 from repro.ppr.params import PPRParams
 from repro.storage.build import ShardedGraph, build_shards
 from repro.storage.dist_storage import DistGraphStorage
+from repro.storage.fetch import FetchCache, NeighborFetchService
 from repro.walk.random_walk import distributed_random_walk
 
 
@@ -170,6 +171,31 @@ class GraphEngine:
                              sanitizer=sanitizer)
         assignment = assign_queries(self.sharded, sources,
                                     cfg.procs_per_machine)
+
+        fetch_split = (cfg.fetch_split if request.fetch_split is None
+                       else request.fetch_split)
+        fetch_cache_bytes = (cfg.fetch_cache_bytes
+                            if request.fetch_cache_bytes is None
+                            else request.fetch_cache_bytes)
+        fetch_coalesce = (cfg.fetch_coalesce if request.fetch_coalesce is None
+                          else request.fetch_coalesce)
+        # one FetchCache per machine, shared by its computing processes —
+        # that sharing is what makes cross-request coalescing fire
+        fetch_caches: dict[int, FetchCache] = {}
+
+        def wrap_fetch(g, machine, name):
+            if not (g.compress and (fetch_split or fetch_cache_bytes > 0)):
+                return g
+            fc = fetch_caches.get(machine)
+            if fc is None:
+                fc = fetch_caches[machine] = FetchCache(
+                    fetch_cache_bytes, sanitizer=sanitizer
+                )
+            return NeighborFetchService(
+                g, fc, split=fetch_split, coalesce=fetch_coalesce,
+                metrics=cluster.obs.metrics, proc=_late_proc(cluster, name),
+            )
+
         states: dict[int, object] = {}
         latencies: dict[int, float] = {}
         fault_stats = {"degraded_queries": 0, "abandoned_mass": 0.0}
@@ -180,22 +206,23 @@ class GraphEngine:
         for (machine, proc_index), chunk in assignment.items():
             name = cfg.worker_name(machine, proc_index)
             if request.mode == "tensor":
-                g = DistGraphStorage(cluster.rrefs, machine, name,
-                                     compress=True)
+                g = wrap_fetch(DistGraphStorage(cluster.rrefs, machine, name,
+                                                compress=True), machine, name)
                 body = multi_query_tensor_driver(
                     g, _late_proc(cluster, name), chunk, self.sharded,
                     params, collect=collect,
                 )
             elif request.mode == "batched":
-                g = DistGraphStorage(cluster.rrefs, machine, name,
-                                     compress=True)
+                g = wrap_fetch(DistGraphStorage(cluster.rrefs, machine, name,
+                                                compress=True), machine, name)
                 body = multi_query_batched_driver(
                     g, _late_proc(cluster, name), chunk, self.sharded,
                     params, collect=collect,
                 )
             else:
-                g = DistGraphStorage(cluster.rrefs, machine, name,
-                                     compress=opt.compressed)
+                g = wrap_fetch(DistGraphStorage(cluster.rrefs, machine, name,
+                                                compress=opt.compressed),
+                               machine, name)
                 body = multi_query_driver(
                     g, _late_proc(cluster, name), chunk, self.sharded,
                     params, opt=opt, collect=collect,
@@ -219,6 +246,11 @@ class GraphEngine:
         phases = aggregate_breakdowns([p.breakdown for p in procs])
         ctx = cluster.ctx
         obs = cluster.obs
+        if fetch_caches:
+            obs.metrics.set("fetch.cache_bytes",
+                            sum(fc.nbytes for fc in fetch_caches.values()))
+            obs.metrics.set("fetch.cache_entries",
+                            sum(len(fc.rows) for fc in fetch_caches.values()))
         obs.metrics.inc("engine.queries", len(sources))
         obs.metrics.inc("engine.degraded_queries",
                         fault_stats["degraded_queries"])

@@ -88,6 +88,11 @@ class RunRequest:
         lock-discipline violations surface in
         ``QueryRunResult.race_violations`` plus the ``sanitizer.*``
         metrics.  Zero-overhead when off (the default).
+    fetch_split / fetch_cache_bytes / fetch_coalesce:
+        Per-run overrides for the adaptive fetch layer
+        (docs/fetch-layer.md); the config's knobs when ``None``.
+        ``fetch_split=False, fetch_cache_bytes=0`` reproduces the
+        pre-fetch-layer wire behavior exactly (ablation off-switch).
     """
 
     n_queries: int | None = None
@@ -104,6 +109,9 @@ class RunRequest:
     retry_policy: RetryPolicy | None = None
     degradation: DegradationMode = DegradationMode.FAIL_FAST
     sanitize: bool = False
+    fetch_split: bool | None = None
+    fetch_cache_bytes: int | None = None
+    fetch_coalesce: bool | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in RUN_MODES:
@@ -126,6 +134,11 @@ class RunRequest:
         if self.sources is not None:
             object.__setattr__(
                 self, "sources", np.asarray(self.sources, dtype=np.int64)
+            )
+        if self.fetch_cache_bytes is not None and self.fetch_cache_bytes < 0:
+            raise ValueError(
+                f"fetch_cache_bytes must be >= 0, "
+                f"got {self.fetch_cache_bytes}"
             )
 
     def resolved_retry_policy(self) -> RetryPolicy | None:

@@ -147,8 +147,8 @@ def distributed_sppr_query(g: DistGraphStorage, proc, source_local: int,
                         raise
                     remote_infos[j] = None
 
-        local_mask = masks[shard]
-        if local_mask.any():
+        local_mask = masks.get(shard)
+        if local_mask is not None and local_mask.any():
             lfut = g.get_neighbor_infos(shard, node_ids[local_mask])
             infos = yield Wait(lfut)  # local calls resolve synchronously
             with proc.measured("push"):
@@ -206,8 +206,8 @@ def distributed_multi_query(g: DistGraphStorage, proc,
             if j == shard or not mask.any():
                 continue
             futs[j] = g.get_neighbor_infos(j, node_ids[mask])
-        local_mask = masks[shard]
-        if local_mask.any():
+        local_mask = masks.get(shard)
+        if local_mask is not None and local_mask.any():
             infos = yield Wait(g.get_neighbor_infos(shard,
                                                     node_ids[local_mask]))
             with proc.measured("push"):
@@ -257,8 +257,8 @@ def distributed_tensor_query(g: DistGraphStorage, proc, source_global: int,
         for j, fut in futs.items():
             remote_infos[j] = yield Wait(fut)
 
-        local_mask = masks[shard]
-        if local_mask.any():
+        local_mask = masks.get(shard)
+        if local_mask is not None and local_mask.any():
             lfut = g.get_neighbor_infos(shard, node_ids[local_mask])
             infos = yield Wait(lfut)
             with proc.measured("push"):

@@ -50,7 +50,8 @@ def forward_push_sequential(graph: CSRGraph, source: int, params: PPRParams,
     queued = np.zeros(n, dtype=bool)
     queued[source] = True
     n_pushes = 0
-    touched = {source}
+    touched = np.zeros(n, dtype=bool)
+    touched[source] = True
 
     while queue:
         v = queue.popleft()
@@ -81,7 +82,7 @@ def forward_push_sequential(graph: CSRGraph, source: int, params: PPRParams,
         s, e = graph.indptr[v], graph.indptr[v + 1]
         nbrs = graph.indices[s:e]
         residual[nbrs] += graph.weights[s:e] * (m / d_v)
-        touched.update(int(u) for u in nbrs)
+        touched[nbrs] = True
         # Activate neighbors crossing their threshold.
         above = residual[nbrs] > eps * np.where(wdeg[nbrs] > 0, wdeg[nbrs], 0.0)
         for u in nbrs[above & ~queued[nbrs]]:
@@ -89,5 +90,5 @@ def forward_push_sequential(graph: CSRGraph, source: int, params: PPRParams,
             queued[u] = True
 
     stats = PushStats(n_pushes=n_pushes, n_iterations=n_pushes,
-                      n_touched=len(touched))
+                      n_touched=int(np.count_nonzero(touched)))
     return ppr, residual, stats

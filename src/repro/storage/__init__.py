@@ -21,18 +21,25 @@ Implements the storage stack exactly as the paper lays it out:
 * :class:`DistGraphStorage` — the per-process facade of Figure 4:
   ``get_neighbor_infos`` and ``sample_one_neighbor`` against local or
   remote shards through RRefs.
+* :class:`NeighborFetchService` / :class:`FetchCache` — the adaptive
+  neighbor-fetch layer on top of the facade: partial halo-cache hits,
+  a deterministic byte-budgeted hot-vertex cache, and single-flight
+  coalescing of overlapping in-flight requests (docs/fetch-layer.md).
 """
 
 from repro.storage.build import ShardedGraph, build_shards
 from repro.storage.dist_storage import DistGraphStorage
+from repro.storage.fetch import FetchCache, NeighborFetchService
 from repro.storage.neighbor_batch import NeighborBatch, NeighborLists
 from repro.storage.shard import GraphShard
 from repro.storage.vertex_prop import VertexProp
 
 __all__ = [
     "DistGraphStorage",
+    "FetchCache",
     "GraphShard",
     "NeighborBatch",
+    "NeighborFetchService",
     "NeighborLists",
     "ShardedGraph",
     "VertexProp",

@@ -98,5 +98,11 @@ class DistGraphStorage:
         )
 
     def shard_masks(self, shard_ids: np.ndarray) -> dict[int, np.ndarray]:
-        """Boolean mask per destination shard (Figure 4's ``mask_dict``)."""
-        return {j: shard_ids == j for j in range(self.n_shards)}
+        """Boolean mask per destination shard (Figure 4's ``mask_dict``).
+
+        Only shards actually present in ``shard_ids`` get an entry — at
+        high machine counts a frontier usually touches a few shards, and
+        building all K masks per iteration is O(K·frontier) waste.
+        Callers must treat absent shards as all-false (``masks.get(j)``).
+        """
+        return {int(j): shard_ids == j for j in np.unique(shard_ids)}

@@ -1,0 +1,457 @@
+"""Adaptive neighbor-fetch layer (``repro.storage.fetch``).
+
+Sits between the SSPPR/walk drivers and :class:`DistGraphStorage` and makes
+every remote batch as small and as rare as possible, composing three
+mechanisms:
+
+1. **Partial-hit splitting** — ``GraphShard.cache_covers`` is all-or-nothing:
+   one uncached node used to send the *entire* per-shard batch over the
+   network.  The fetch layer splits each request with
+   :meth:`GraphShard.cache_mask`, serves covered rows from the local halo
+   cache, and sends only the misses.
+2. **Hot-vertex cache** — a bounded, byte-budgeted cache of adjacency rows
+   populated from remote responses.  Power-law hub vertices re-fetched by
+   every query are fetched once per run.  Eviction is deterministic
+   (lowest ``(frequency, last-use tick, key)`` first — a logical tick, no
+   wall clock, no randomness).
+3. **Single-flight coalescing** — concurrent in-flight requests for
+   overlapping ``(shard, node)`` sets dedup against a pending-futures table;
+   late arrivals extract their rows from the first request's response.
+
+Split responses are reassembled with the vectorized
+:meth:`NeighborBatch.merge` in original request order, so results are
+bitwise identical to an unsplit fetch.  Cache state mutates only at
+deterministic points: classification happens when the driver *issues* a
+fetch, and admission/unregistration happen when the driver first *consumes*
+the response (``value()``), which both the virtual-time scheduler and
+``ThreadRuntime`` do in driver program order.  All shared state is guarded
+by one lock (sanitizer-tracked when a race detector is installed).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+import numpy as np
+
+from repro.simt.futures import SimFuture
+from repro.storage.neighbor_batch import NeighborBatch
+
+#: per-entry cost of a cached adjacency row: 5 eight-byte fields per
+#: neighbor (local, shard, global, weight, weighted degree) ...
+_ROW_ENTRY_NBYTES = 40
+#: ... plus the source node's own weighted degree
+_ROW_BASE_NBYTES = 8
+
+
+class _HotRow:
+    """One cached adjacency row (views over a remote response's arrays)."""
+
+    __slots__ = ("local", "shard", "glob", "weight", "wdeg", "src_wdeg",
+                 "nbytes", "freq", "tick")
+
+    def __init__(self, local, shard, glob, weight, wdeg, src_wdeg,
+                 nbytes, tick) -> None:
+        self.local = local
+        self.shard = shard
+        self.glob = glob
+        self.weight = weight
+        self.wdeg = wdeg
+        self.src_wdeg = src_wdeg
+        self.nbytes = nbytes
+        self.freq = 1
+        self.tick = tick
+
+
+class FetchCache:
+    """Shared per-machine fetch state: hot rows + pending-flight table.
+
+    Keys are packed owner addresses ``local * n_shards + dest_shard`` (the
+    same scheme as the halo cache).  ``capacity_bytes == 0`` disables the
+    hot-vertex cache while leaving the pending table usable.
+    """
+
+    def __init__(self, capacity_bytes: int, *, sanitizer=None) -> None:
+        if capacity_bytes < 0:
+            raise ValueError(
+                f"capacity_bytes must be >= 0, got {capacity_bytes}"
+            )
+        self.capacity = int(capacity_bytes)
+        self.rows: dict[int, _HotRow] = {}
+        #: key -> (in-flight future, row index within that request)
+        self.pending: dict[int, tuple[Any, int]] = {}
+        self.nbytes = 0
+        self.evictions = 0
+        self.tick = 0
+        self._sanitizer = sanitizer
+        if sanitizer is not None:
+            self.lock = sanitizer.tracked_lock("fetch.cache")
+        else:
+            self.lock = threading.Lock()
+
+    def record_access(self, *, write: bool) -> None:
+        """Report the shared-state access to an installed race detector."""
+        if self._sanitizer is not None:
+            self._sanitizer.record("fetch.cache.state", write=write)
+
+    # The callers below hold ``self.lock``.
+
+    def admit(self, keys: list[int], batch: NeighborBatch) -> int:
+        """Cache rows of a remote response; returns evictions performed."""
+        if self.capacity <= 0:
+            return 0
+        indptr = batch.indptr
+        tick = self.tick
+        for i, key in enumerate(keys):
+            if key in self.rows:
+                continue
+            s, e = int(indptr[i]), int(indptr[i + 1])
+            nbytes = (e - s) * _ROW_ENTRY_NBYTES + _ROW_BASE_NBYTES
+            if nbytes > self.capacity:
+                continue
+            self.rows[key] = _HotRow(
+                batch.local_ids[s:e], batch.shard_ids[s:e],
+                batch.global_ids[s:e], batch.weights[s:e],
+                batch.weighted_degrees[s:e], float(batch.source_wdeg[i]),
+                nbytes, tick,
+            )
+            self.nbytes += nbytes
+        evicted = 0
+        while self.nbytes > self.capacity:
+            key, row = min(self.rows.items(),
+                           key=lambda kv: (kv[1].freq, kv[1].tick, kv[0]))
+            del self.rows[key]
+            self.nbytes -= row.nbytes
+            evicted += 1
+        self.evictions += evicted
+        return evicted
+
+    def unregister(self, keys: list[int], fut: Any) -> None:
+        """Drop pending entries that still point at ``fut`` (idempotent)."""
+        for key in keys:
+            ent = self.pending.get(key)
+            if ent is not None and ent[0] is fut:
+                del self.pending[key]
+
+
+def _rows_to_batch(rows: list[_HotRow]) -> NeighborBatch:
+    """Assemble cached rows (in request order) into one NeighborBatch."""
+    counts = np.fromiter((len(r.local) for r in rows), dtype=np.int64,
+                         count=len(rows))
+    indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    local = np.concatenate([r.local for r in rows])
+    shard = np.concatenate([r.shard for r in rows])
+    glob = np.concatenate([r.glob for r in rows])
+    weight = np.concatenate([r.weight for r in rows])
+    wdeg = np.concatenate([r.wdeg for r in rows])
+    src = np.fromiter((r.src_wdeg for r in rows), dtype=np.float64,
+                      count=len(rows))
+    return NeighborBatch(indptr, local, shard, glob, weight, wdeg, src)
+
+
+class _SimMergedFuture(SimFuture):
+    """Composite SimFuture whose value materializes at first consumption.
+
+    Resolves (ready time = max over parts; exception = first failing part)
+    as soon as every part resolves, but the merge + hot-cache admission +
+    pending-table cleanup run lazily inside :meth:`value` — the scheduler
+    calls ``value()`` exactly when the waiting driver resumes, so cache
+    state evolves in driver program order on the sim runtime just as it
+    does on :class:`ThreadRuntime`.
+    """
+
+    __slots__ = ("_finalize",)
+
+    def __init__(self, parts: list[SimFuture], finalize) -> None:
+        super().__init__(tag="fetch.merge")
+        self._finalize = finalize
+        remaining = {"n": len(parts)}
+
+        def on_done(_f: SimFuture) -> None:
+            remaining["n"] -= 1
+            if remaining["n"] > 0:
+                return
+            ready = max(p.ready_time for p in parts)
+            exc = next((p.exception for p in parts
+                        if p.exception is not None), None)
+            if exc is not None:
+                self.set_exception(exc, ready)
+            else:
+                self.set_result(None, ready)
+
+        for p in parts:
+            p.add_done_callback(on_done)
+
+    def value(self) -> Any:
+        if self._done and self._finalize is not None:
+            fin, self._finalize = self._finalize, None
+            if self._exception is None:
+                self._value = fin(True)
+            else:
+                fin(False)
+        return super().value()
+
+
+class _ThreadMergedFuture:
+    """Composite future for ThreadRuntime: blocks on parts at ``value()``."""
+
+    __slots__ = ("_parts", "_finalize", "_lock", "_result", "_exception",
+                 "_materialized")
+
+    def __init__(self, parts: list[Any], finalize) -> None:
+        self._parts = parts
+        self._finalize = finalize
+        self._lock = threading.Lock()
+        self._result: Any = None
+        self._exception: BaseException | None = None
+        self._materialized = False
+
+    @property
+    def done(self) -> bool:
+        return all(p.done for p in self._parts)
+
+    def value(self) -> Any:
+        with self._lock:
+            if not self._materialized:
+                self._materialized = True
+                fin, self._finalize = self._finalize, None
+                try:
+                    for p in self._parts:
+                        p.value()
+                # repro: allow=REP006 cleanup only; fault is re-raised
+                except BaseException as exc:
+                    fin(False)
+                    self._exception = exc
+                    raise
+                self._result = fin(True)
+                return self._result
+            if self._exception is not None:
+                raise self._exception
+            return self._result
+
+
+class NeighborFetchService:
+    """Driver-facing storage facade adding split / hot-cache / coalescing.
+
+    Exposes the same surface as :class:`DistGraphStorage`; everything except
+    remote compressed ``get_neighbor_infos`` delegates straight through, so
+    drivers are agnostic to whether they hold the raw storage or the
+    service.
+    """
+
+    def __init__(self, storage, cache: FetchCache, *, split: bool = True,
+                 coalesce: bool = True, metrics=None, proc=None) -> None:
+        self._g = storage
+        self._cache = cache
+        self._split = bool(split)
+        self._coalesce = bool(coalesce)
+        self._metrics = metrics
+        self._proc = proc
+
+    # -- delegated surface ----------------------------------------------
+    @property
+    def rrefs(self):
+        return self._g.rrefs
+
+    @property
+    def shard_id(self) -> int:
+        return self._g.shard_id
+
+    @property
+    def caller(self) -> str:
+        return self._g.caller
+
+    @property
+    def compress(self) -> bool:
+        return self._g.compress
+
+    @property
+    def n_shards(self) -> int:
+        return self._g.n_shards
+
+    def is_local(self, dest_shard: int) -> bool:
+        return self._g.is_local(dest_shard)
+
+    def shard_masks(self, shard_ids: np.ndarray) -> dict[int, np.ndarray]:
+        return self._g.shard_masks(shard_ids)
+
+    def get_neighbor_infos_single(self, dest_shard: int, local_id: int):
+        return self._g.get_neighbor_infos_single(dest_shard, local_id)
+
+    def sample_one_neighbor(self, dest_shard: int, local_ids: np.ndarray,
+                            salt: int | None = None):
+        return self._g.sample_one_neighbor(dest_shard, local_ids, salt)
+
+    def source_weighted_degrees(self, dest_shard: int,
+                                local_ids: np.ndarray):
+        return self._g.source_weighted_degrees(dest_shard, local_ids)
+
+    # -- the adaptive path ----------------------------------------------
+    def get_neighbor_infos(self, dest_shard: int, local_ids: np.ndarray):
+        if not self._g.compress or self._g.is_local(dest_shard):
+            return self._g.get_neighbor_infos(dest_shard, local_ids)
+        ids = np.asarray(local_ids, dtype=np.int64)
+        if len(ids) == 0:
+            return self._g.get_neighbor_infos(dest_shard, ids)
+        return self._fetch_remote(int(dest_shard), ids)
+
+    def _inc(self, name: str, value: int = 1) -> None:
+        if self._metrics is not None and value:
+            self._metrics.inc(name, value)
+
+    def _fetch_remote(self, dest_shard: int, ids: np.ndarray):
+        cache = self._cache
+        n = len(ids)
+        keys = ids * self._g.n_shards + dest_shard
+
+        hot_pos: list[int] = []
+        hot_rows: list[_HotRow] = []
+        #: id(fut) -> (fut, positions in this request, rows in that flight)
+        pend: dict[int, tuple[Any, list[int], list[int]]] = {}
+        rest: list[int] = []
+
+        with cache.lock:
+            cache.record_access(write=True)
+            cache.tick += 1
+            tick = cache.tick
+            use_rows = cache.capacity > 0
+            for i in range(n):
+                key = int(keys[i])
+                if use_rows:
+                    row = cache.rows.get(key)
+                    if row is not None:
+                        row.freq += 1
+                        row.tick = tick
+                        hot_pos.append(i)
+                        hot_rows.append(row)
+                        continue
+                if self._coalesce:
+                    ent = cache.pending.get(key)
+                    if ent is not None:
+                        fut, row_idx = ent
+                        group = pend.get(id(fut))
+                        if group is None:
+                            group = pend[id(fut)] = (fut, [], [])
+                        group[1].append(i)
+                        group[2].append(row_idx)
+                        continue
+                rest.append(i)
+
+            # Partial halo-cache hits: serve covered rows locally, send
+            # only the misses over the wire.
+            halo_pos: list[int] = []
+            miss_pos = rest
+            if self._split and rest:
+                local_shard = self._g.rrefs[self._g.shard_id].local_value()
+                if local_shard.has_halo_cache:
+                    rest_arr = np.asarray(rest, dtype=np.int64)
+                    covered = local_shard.cache_mask(dest_shard,
+                                                     ids[rest_arr])
+                    halo_pos = [int(p) for p in rest_arr[covered]]
+                    miss_pos = [int(p) for p in rest_arr[~covered]]
+
+            halo_fut = None
+            if halo_pos:
+                local_rref = self._g.rrefs[self._g.shard_id]
+                halo_fut = local_rref.rpc_async(
+                    self._g.caller, "get_cached_batch", dest_shard,
+                    ids[np.asarray(halo_pos, dtype=np.int64)],
+                )
+
+            miss_fut = None
+            miss_keys: list[int] = []
+            if miss_pos:
+                miss_fut = self._g.get_neighbor_infos(
+                    dest_shard, ids[np.asarray(miss_pos, dtype=np.int64)]
+                )
+                if self._coalesce:
+                    miss_keys = [int(keys[p]) for p in miss_pos]
+                    for row_idx, key in enumerate(miss_keys):
+                        cache.pending[key] = (miss_fut, row_idx)
+
+        self._inc("fetch.requests")
+        self._inc("fetch.cache_hits", len(hot_pos))
+        self._inc("fetch.halo_hits", len(halo_pos))
+        self._inc("fetch.coalesced", n - len(hot_pos) - len(rest))
+        self._inc("fetch.misses", len(miss_pos))
+        self._inc("fetch.bytes_saved",
+                  sum(r.nbytes for r in hot_rows))
+        if self._proc is not None and (hot_pos or halo_pos or pend):
+            with self._proc.span("fetch.split", shard=dest_shard,
+                                 hot=len(hot_pos), halo=len(halo_pos),
+                                 miss=len(miss_pos)):
+                pass
+
+        # Pure hot hit: no wire, no waiting — resolve immediately.
+        if len(hot_pos) == n:
+            batch = _rows_to_batch(hot_rows)
+            ctx = self._g.rrefs[0].ctx
+            if hasattr(ctx, "scheduler"):
+                return SimFuture.resolved(batch, 0.0, tag="fetch.hot")
+            from repro.rpc.thread_runtime import ThreadFuture
+
+            return ThreadFuture.resolved(batch)
+
+        # Pure miss with nothing to merge or admit or unregister: hand the
+        # raw storage future through — byte-for-byte the pre-fetch-layer
+        # path.
+        if (miss_fut is not None and len(miss_pos) == n
+                and cache.capacity <= 0 and not miss_keys):
+            return miss_fut
+
+        part_specs: list[tuple[Any, list[int], list[int] | None]] = []
+        for fut, positions, row_idx in pend.values():
+            part_specs.append((fut, positions, row_idx))
+        if halo_fut is not None:
+            part_specs.append((halo_fut, halo_pos, None))
+        if miss_fut is not None:
+            part_specs.append((miss_fut, miss_pos, None))
+
+        def finalize(ok: bool):
+            if not ok:
+                if miss_keys:
+                    with cache.lock:
+                        cache.record_access(write=True)
+                        cache.unregister(miss_keys, miss_fut)
+                return None
+            merge_parts: list[tuple[np.ndarray, NeighborBatch]] = []
+            saved = 0
+            for fut, positions, row_idx in part_specs:
+                batch = fut.value()
+                if row_idx is not None:
+                    batch = batch.take_rows(
+                        np.asarray(row_idx, dtype=np.int64)
+                    )
+                    saved += batch.rpc_payload()[0]
+                elif fut is halo_fut:
+                    saved += batch.rpc_payload()[0]
+                merge_parts.append(
+                    (np.asarray(positions, dtype=np.int64), batch)
+                )
+            evicted = 0
+            if miss_keys or (cache.capacity > 0 and miss_fut is not None):
+                with cache.lock:
+                    cache.record_access(write=True)
+                    if miss_keys:
+                        cache.unregister(miss_keys, miss_fut)
+                    if cache.capacity > 0 and miss_fut is not None:
+                        admit_keys = [int(keys[p]) for p in miss_pos]
+                        evicted = cache.admit(admit_keys, miss_fut.value())
+            self._inc("fetch.bytes_saved", saved)
+            self._inc("fetch.evictions", evicted)
+            if hot_rows:
+                merge_parts.append(
+                    (np.asarray(hot_pos, dtype=np.int64),
+                     _rows_to_batch(hot_rows))
+                )
+            if (len(merge_parts) == 1
+                    and np.array_equal(merge_parts[0][0], np.arange(n))):
+                return merge_parts[0][1]
+            return NeighborBatch.merge(n, merge_parts)
+
+        parts = [spec[0] for spec in part_specs]
+        if hasattr(parts[0], "add_done_callback"):
+            return _SimMergedFuture(parts, finalize)
+        return _ThreadMergedFuture(parts, finalize)

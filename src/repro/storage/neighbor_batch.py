@@ -70,6 +70,79 @@ class NeighborBatch:
         )
         return nbytes, 7
 
+    def take_rows(self, rows: np.ndarray) -> "NeighborBatch":
+        """A new batch holding the given source rows, in the given order.
+
+        Used by the fetch layer to extract a subset of an in-flight
+        response (single-flight coalescing): row values are slices of the
+        owner's arrays, so they are bitwise identical to a direct fetch.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        starts = self.indptr[rows]
+        counts = self.indptr[rows + 1] - starts
+        indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        total = int(indptr[-1])
+        idx = np.repeat(starts - indptr[:-1], counts) + np.arange(total)
+        return NeighborBatch(
+            indptr, self.local_ids[idx], self.shard_ids[idx],
+            self.global_ids[idx], self.weights[idx],
+            self.weighted_degrees[idx], self.source_wdeg[rows],
+        )
+
+    @classmethod
+    def merge(cls, n_sources: int,
+              parts: list[tuple[np.ndarray, "NeighborBatch"]]
+              ) -> "NeighborBatch":
+        """Reassemble per-part batches into one batch in request order.
+
+        ``parts`` is a list of ``(positions, batch)`` pairs where
+        ``positions`` are row indices into the original request; together
+        they must cover ``0..n_sources-1`` exactly once.  The scatter is
+        fully vectorized (one ``np.repeat`` gather per part), and the
+        output rows are the parts' rows verbatim — a merged response is
+        bitwise identical to the response a single unsplit fetch would
+        have produced.
+        """
+        counts = np.zeros(n_sources, dtype=np.int64)
+        seen = np.zeros(n_sources, dtype=bool)
+        for pos, batch in parts:
+            if batch.n_sources != len(pos):
+                raise ShardError(
+                    f"merge part covers {len(pos)} positions but holds "
+                    f"{batch.n_sources} rows"
+                )
+            if np.any(seen[pos]):
+                raise ShardError("merge parts overlap in positions")
+            seen[pos] = True
+            counts[pos] = np.diff(batch.indptr)
+        if not np.all(seen):
+            raise ShardError(
+                f"merge parts cover {int(np.count_nonzero(seen))} of "
+                f"{n_sources} positions"
+            )
+        indptr = np.zeros(n_sources + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        total = int(indptr[-1])
+        local = np.empty(total, dtype=np.int64)
+        shard = np.empty(total, dtype=np.int64)
+        glob = np.empty(total, dtype=np.int64)
+        w = np.empty(total, dtype=np.float64)
+        wdeg = np.empty(total, dtype=np.float64)
+        src_wdeg = np.empty(n_sources, dtype=np.float64)
+        for pos, batch in parts:
+            part_counts = np.diff(batch.indptr)
+            part_total = int(batch.indptr[-1])
+            idx = (np.repeat(indptr[pos] - batch.indptr[:-1], part_counts)
+                   + np.arange(part_total))
+            local[idx] = batch.local_ids
+            shard[idx] = batch.shard_ids
+            glob[idx] = batch.global_ids
+            w[idx] = batch.weights
+            wdeg[idx] = batch.weighted_degrees
+            src_wdeg[pos] = batch.source_wdeg
+        return cls(indptr, local, shard, glob, w, wdeg, src_wdeg)
+
 
 class NeighborLists:
     """Uncompressed list-of-lists response (ablation baseline)."""

@@ -228,6 +228,21 @@ class GraphShard:
         pos = np.minimum(pos, len(self._cache_keys) - 1)
         return bool(np.all(self._cache_keys[pos] == keys))
 
+    def cache_mask(self, dest_shard: int, local_ids: np.ndarray) -> np.ndarray:
+        """Per-node boolean mask of which remote nodes the halo cache holds.
+
+        The partial-hit counterpart of :meth:`cache_covers`: the fetch
+        layer uses it to serve covered rows locally and send only the
+        misses over the wire.
+        """
+        ids = np.asarray(local_ids, dtype=np.int64)
+        if self._cache_keys is None or len(self._cache_keys) == 0:
+            return np.zeros(len(ids), dtype=bool)
+        keys = ids * self.n_shards + int(dest_shard)
+        pos = np.searchsorted(self._cache_keys, keys)
+        pos = np.minimum(pos, len(self._cache_keys) - 1)
+        return self._cache_keys[pos] == keys
+
     def get_cached_batch(self, dest_shard: int,
                          local_ids) -> NeighborBatch:
         """Serve a remote shard's nodes from the local halo cache."""

@@ -111,8 +111,8 @@ def distributed_wcc(g: DistGraphStorage, proc, seed_locals: np.ndarray):
             if j == g.shard_id or not mask.any():
                 continue
             futs[j] = g.get_neighbor_infos(j, node_ids[mask])
-        local_mask = masks[g.shard_id]
-        if local_mask.any():
+        local_mask = masks.get(g.shard_id)
+        if local_mask is not None and local_mask.any():
             infos = yield Wait(g.get_neighbor_infos(g.shard_id,
                                                     node_ids[local_mask]))
             with proc.measured("push"):

@@ -51,7 +51,7 @@ FIXTURE_MAP = {
     "REP001": ("rep001_bad.py", "rep001_ok.py", 3),
     "REP002": ("rep002_bad.py", "rep002_ok.py", 3),
     "REP003": ("simt/rep003_bad.py", "simt/rep003_ok.py", 3),
-    "REP004": ("rpc/rep004_bad.py", "rpc/rep004_ok.py", 3),
+    "REP004": ("rpc/rep004_bad.py", "rpc/rep004_ok.py", 5),
     "REP005": ("simt/rep005_bad.py", "simt/rep005_ok.py", 3),
     "REP006": ("rpc/rep006_bad.py", "rpc/rep006_ok.py", 2),
 }
@@ -184,6 +184,13 @@ class TestRuleFixtures:
         assert "lambda" in messages
         assert "generator expression" in messages
         assert "payload_sizes" in messages  # the Ellipsis literal
+
+    def test_rep004_dataflow_resolves_single_assignment_names(self):
+        out = lint_fixture("rpc/rep004_bad.py", "REP004")
+        via = [v for v in out if "via local" in v.message]
+        assert len(via) == 2
+        assert any("'handler'" in v.message for v in via)
+        assert any("'bad_payload'" in v.message for v in via)
 
     def test_rep006_exempts_reraising_handler(self):
         out = lint_fixture("rpc/rep006_ok.py", "REP006")

@@ -34,6 +34,15 @@ class TestDistGraphStorageValidation:
         total = sum(int(m.sum()) for m in masks.values())
         assert total == 5
 
+    def test_shard_masks_only_present_shards(self):
+        rrefs = self.make_rrefs(3)
+        g = DGS(rrefs, 0, "w")
+        masks = g.shard_masks(np.array([1, 1, 1]))
+        assert set(masks) == {1}
+        assert masks.get(0) is None
+        assert masks[1].all()
+        assert g.shard_masks(np.array([], dtype=np.int64)) == {}
+
     def test_is_local(self):
         rrefs = self.make_rrefs(2)
         # caller registered on machine 0 by SimCluster server bring-up is

@@ -24,7 +24,7 @@ from repro.graph import powerlaw_cluster
 from repro.ppr import OptLevel, PPRParams
 from repro.rpc import RetryPolicy, ThreadRuntime
 from repro.simt import FaultPlan
-from repro.storage import DistGraphStorage
+from repro.storage import DistGraphStorage, FetchCache, NeighborFetchService
 
 PARAMS = PPRParams(epsilon=1e-5)
 
@@ -52,16 +52,20 @@ def engine():
     return GraphEngine(graph, EngineConfig(n_machines=2))
 
 
-def run_threaded(engine, sources, *, fault_plan=None, retry_policy=None):
+def run_threaded(engine, sources, *, fault_plan=None, retry_policy=None,
+                 fetch=True, sanitize=False):
     """Mirror ``engine.run``'s deployment on real threads.
 
     Same server/worker names, same query assignment, same storage
     options — so each caller issues the identical remote-call sequence
-    and the FaultPlan replays the identical drop decisions.
+    and the FaultPlan replays the identical drop decisions.  ``fetch``
+    mirrors the engine's fetch-layer wrapping (one shared FetchCache per
+    machine) with the config's default knobs.
     """
     cfg = engine.config
     sharded = engine.sharded
-    runtime = ThreadRuntime(fault_plan=fault_plan, retry_policy=retry_policy)
+    runtime = ThreadRuntime(fault_plan=fault_plan, retry_policy=retry_policy,
+                            sanitize=sanitize)
     rrefs = []
     for m in range(cfg.n_machines):
         runtime.register_server(cfg.server_name(m), m)
@@ -70,12 +74,25 @@ def run_threaded(engine, sources, *, fault_plan=None, retry_policy=None):
             lambda shard=sharded.shards[m]: shard,
         ))
     states: dict[int, object] = {}
+    fetch_caches: dict[int, FetchCache] = {}
     try:
         for (machine, p), chunk in assign_queries(
                 sharded, sources, cfg.procs_per_machine).items():
             name = cfg.worker_name(machine, p)
             proc = runtime.register_worker(name, machine)
             g = DistGraphStorage(rrefs, machine, name, compress=True)
+            if fetch and (cfg.fetch_split or cfg.fetch_cache_bytes > 0):
+                fc = fetch_caches.get(machine)
+                if fc is None:
+                    fc = fetch_caches[machine] = FetchCache(
+                        cfg.fetch_cache_bytes,
+                        sanitizer=runtime.sanitizer,
+                    )
+                g = NeighborFetchService(
+                    g, fc, split=cfg.fetch_split,
+                    coalesce=cfg.fetch_coalesce,
+                    metrics=runtime.obs.metrics,
+                )
             runtime.spawn(name, multi_query_driver(
                 g, proc, chunk, sharded, PARAMS,
                 opt=OptLevel.OVERLAP, collect=states,
@@ -112,8 +129,10 @@ class TestHealthyDifferential:
         sim_counters = sim.obs.metrics.counters()
         thr_counters = runtime.obs.metrics.counters()
         for key in ("rpc.calls", "rpc.calls_local", "rpc.calls_remote",
-                    "rpc.request_bytes", "rpc.response_bytes"):
-            assert sim_counters[key] == thr_counters[key], key
+                    "rpc.request_bytes", "rpc.response_bytes",
+                    "fetch.requests", "fetch.cache_hits", "fetch.halo_hits",
+                    "fetch.misses", "fetch.coalesced", "fetch.bytes_saved"):
+            assert sim_counters.get(key, 0) == thr_counters.get(key, 0), key
         # the fault counters never appeared on either side
         for key in ("rpc.retries", "rpc.dropped_messages", "rpc.giveups"):
             assert sim_counters.get(key, 0) == 0
@@ -185,3 +204,51 @@ class TestFaultyDifferential:
         assert a.obs.metrics.counters() == b.obs.metrics.counters()
         assert a.dropped_messages > 0
         assert a.dropped_messages == b.dropped_messages
+
+
+class TestFetchLayerDifferential:
+    """The fetch layer never changes answers — only how they travel."""
+
+    def test_fetch_on_off_bitwise_identical_sim(self, engine):
+        sources = sample_sources(engine.sharded, 8, seed=4)
+        on = engine.run(sim_request(sources))
+        off = engine.run(sim_request(sources, fetch_split=False,
+                                     fetch_cache_bytes=0))
+        n = engine.graph.n_nodes
+        on_vecs = dense(on.states, engine.sharded, n)
+        off_vecs = dense(off.states, engine.sharded, n)
+        assert on_vecs.keys() == off_vecs.keys()
+        for gid in on_vecs:
+            np.testing.assert_array_equal(on_vecs[gid], off_vecs[gid])
+        # ... and travels less: the hot-vertex cache absorbs repeats
+        on_c = on.obs.metrics.counters()
+        off_c = off.obs.metrics.counters()
+        assert on.remote_requests < off.remote_requests
+        assert on_c["rpc.response_bytes"] < off_c["rpc.response_bytes"]
+        assert on_c["fetch.cache_hits"] > 0
+        assert "fetch.requests" not in off_c
+
+    def test_fetch_on_off_bitwise_identical_threads(self, engine):
+        sources = sample_sources(engine.sharded, 8, seed=4)
+        _, on_states = run_threaded(engine, sources, fetch=True)
+        _, off_states = run_threaded(engine, sources, fetch=False)
+        n = engine.graph.n_nodes
+        on_vecs = dense(on_states, engine.sharded, n)
+        off_vecs = dense(off_states, engine.sharded, n)
+        assert on_vecs.keys() == off_vecs.keys()
+        for gid in on_vecs:
+            np.testing.assert_array_equal(on_vecs[gid], off_vecs[gid])
+
+    def test_sanitized_threads_clean_through_coalescing(self):
+        """Two procs per machine hammer one shared FetchCache: the lockset
+        detector must see accesses but no discipline violations."""
+        graph = powerlaw_cluster(400, 6, mixing=0.3, seed=7)
+        engine = GraphEngine(graph, EngineConfig(
+            n_machines=2, procs_per_machine=2, halo_hops=2,
+        ))
+        sources = sample_sources(engine.sharded, 12, seed=5)
+        runtime, states = run_threaded(engine, sources, sanitize=True)
+        assert len(states) == len(sources)
+        assert runtime.sanitizer is not None
+        assert runtime.sanitizer.accesses > 0
+        assert list(runtime.sanitizer.report()) == []
