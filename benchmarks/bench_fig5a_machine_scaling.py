@@ -17,7 +17,7 @@ from benchmarks.common import (
     engine_config,
     get_sharded,
 )
-from repro.engine import GraphEngine
+from repro.engine import GraphEngine, RunRequest
 from repro.partition import edge_cut_fraction
 from repro.ppr import PPRParams
 
@@ -33,8 +33,8 @@ def run_dataset(name: str) -> list[dict]:
         sharded = get_sharded(name, k)
         engine = GraphEngine(sharded.graph, engine_config(k),
                              sharded=sharded)
-        run = engine.run_queries(n_queries=n_queries, seed=17,
-                                 params=PARAMS)
+        run = engine.run(RunRequest(n_queries=n_queries, seed=17,
+                                 params=PARAMS))
         cut = edge_cut_fraction(sharded.graph, sharded.result)
         remote_share = run.remote_requests / max(
             run.remote_requests + run.local_calls, 1

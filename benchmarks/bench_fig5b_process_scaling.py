@@ -19,7 +19,7 @@ from benchmarks.common import (
     engine_config,
     get_sharded,
 )
-from repro.engine import GraphEngine
+from repro.engine import GraphEngine, RunRequest
 from repro.ppr import PPRParams
 
 N_MACHINES = 2
@@ -37,12 +37,12 @@ def run_dataset(name: str) -> list[dict]:
         engine = GraphEngine(
             sharded.graph, engine_config(N_MACHINES, procs), sharded=sharded
         )
-        strong = engine.run_queries(n_queries=strong_total, seed=19,
-                                    params=PARAMS)
-        weak = engine.run_queries(
+        strong = engine.run(RunRequest(n_queries=strong_total, seed=19,
+                                    params=PARAMS))
+        weak = engine.run(RunRequest(
             n_queries=weak_per_proc * procs * N_MACHINES, seed=23,
             params=PARAMS,
-        )
+        ))
         rows.append({
             "Dataset": name,
             "Procs/machine": procs,

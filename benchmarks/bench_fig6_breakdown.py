@@ -20,7 +20,7 @@ from benchmarks.common import (
     engine_config,
     get_sharded,
 )
-from repro.engine import GraphEngine
+from repro.engine import GraphEngine, RunRequest
 from repro.engine.query import sample_sources
 from repro.ppr import OptLevel, PPRParams
 
@@ -36,7 +36,7 @@ def run_dataset(name: str) -> list[dict]:
     sources = sample_sources(sharded, scale.queries_small, seed=29)
     rows = []
     for impl, run in (
-        ("PPR Engine", engine.run_queries(sources=sources, params=PARAMS)),
+        ("PPR Engine", engine.run(RunRequest(sources=sources, params=PARAMS))),
         ("PyTorch Tensor",
          engine.run_tensor_queries(sources=sources, params=PARAMS)),
     ):

@@ -24,7 +24,7 @@ import numpy as np
 
 from benchmarks import common
 from benchmarks.common import bench_scale
-from repro.engine import EngineConfig, GraphEngine
+from repro.engine import EngineConfig, GraphEngine, RunRequest
 from repro.graph import powerlaw_cluster
 from repro.partition import HashPartitioner
 from repro.ppr import PPRParams
@@ -42,8 +42,8 @@ def run_size(n_nodes: int, n_queries: int) -> dict:
                              mixing=0.1, seed=5)
     cfg = EngineConfig(n_machines=4, partitioner=HashPartitioner())
     engine = GraphEngine(graph, cfg)
-    run_e = engine.run_queries(n_queries=n_queries, seed=7, params=PARAMS,
-                               keep_states=True)
+    run_e = engine.run(RunRequest(n_queries=n_queries, seed=7, params=PARAMS,
+                               keep_states=True))
     run_t = engine.run_tensor_queries(
         sources=np.array(sorted(run_e.states)), seed=7, params=PARAMS
     )

@@ -15,7 +15,7 @@ import numpy as np
 
 from benchmarks import common
 from benchmarks.common import bench_scale, engine_config, get_sharded
-from repro.engine import GraphEngine
+from repro.engine import GraphEngine, RunRequest
 from repro.engine.query import sample_sources
 from repro.ppr import PPRParams
 from repro.simt.network import NetworkModel
@@ -30,8 +30,8 @@ def run_dataset(name: str) -> dict:
     engine = GraphEngine(sharded.graph, scale_cfg, sharded=sharded)
     from benchmarks.common import bench_scale as _bs
     sources = sample_sources(sharded, _bs().queries_small, seed=47)
-    run = engine.run_queries(sources=sources, params=PPRParams(),
-                             keep_states=True)
+    run = engine.run(RunRequest(sources=sources, params=PPRParams(),
+                             keep_states=True))
 
     # Measured counterpart: the engine with halo_hops=2 actually serves
     # cached halo rows locally.
@@ -40,7 +40,7 @@ def run_dataset(name: str) -> dict:
                             halo_hops=2)
     cfg2 = engine_config(N_MACHINES, halo_hops=2)
     engine2 = GraphEngine(sharded2.graph, cfg2, sharded=sharded2)
-    run2 = engine2.run_queries(sources=sources, params=PPRParams())
+    run2 = engine2.run(RunRequest(sources=sources, params=PPRParams()))
     mem1 = sharded.total_memory_nbytes()
     mem2 = sharded2.total_memory_nbytes()
 

@@ -11,7 +11,7 @@ import numpy as np
 
 from benchmarks import common
 from benchmarks.common import bench_scale, engine_config, get_sharded
-from repro.engine import GraphEngine
+from repro.engine import GraphEngine, RunRequest
 from repro.engine.query import sample_sources
 from repro.ppr import PPRParams
 
@@ -26,7 +26,7 @@ def run_dataset(name: str) -> dict:
     engine = GraphEngine(sharded.graph, engine_config(N_MACHINES),
                          sharded=sharded)
     sources = sample_sources(sharded, scale.queries, seed=61)
-    seq = engine.run_queries(sources=sources, params=PARAMS)
+    seq = engine.run(RunRequest(sources=sources, params=PARAMS))
     bat = engine.run_queries_batched(sources=sources, params=PARAMS)
     return {
         "Dataset": name,

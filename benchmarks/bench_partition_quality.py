@@ -10,7 +10,7 @@ BFS baselines.
 
 from benchmarks import common
 from benchmarks.common import bench_scale, get_graph
-from repro.engine import EngineConfig, GraphEngine
+from repro.engine import EngineConfig, GraphEngine, RunRequest
 from repro.partition import (
     BfsPartitioner,
     HashPartitioner,
@@ -39,8 +39,8 @@ def run_partitioner(name: str, factory) -> dict:
     sharded = build_shards(graph, result, seed=0)
     cfg = EngineConfig(n_machines=N_MACHINES, partitioner=factory())
     engine = GraphEngine(graph, cfg, sharded=sharded)
-    run = engine.run_queries(n_queries=scale.queries_small, seed=37,
-                             params=PPRParams())
+    run = engine.run(RunRequest(n_queries=scale.queries_small, seed=37,
+                             params=PPRParams()))
     remote_share = run.remote_requests / max(
         run.remote_requests + run.local_calls, 1
     )

@@ -32,7 +32,7 @@ from benchmarks.common import (
     engine_config,
     get_sharded,
 )
-from repro.engine import GraphEngine
+from repro.engine import GraphEngine, RunRequest
 from repro.engine.query import sample_sources
 from repro.ppr import PPRParams, power_iteration_ssppr
 from repro.ppr.power_iteration import build_transition
@@ -59,9 +59,9 @@ def run_dataset(name: str) -> dict:
                          sharded=sharded)
     sources = sample_sources(sharded, scale.queries, seed=11)
     # warm-up (the paper does 4 warm-up runs)
-    engine.run_queries(sources=sources[: max(2, len(sources) // 4)],
-                       params=PARAMS)
-    run_engine = engine.run_queries(sources=sources, params=PARAMS)
+    engine.run(RunRequest(sources=sources[: max(2, len(sources) // 4)],
+                       params=PARAMS))
+    run_engine = engine.run(RunRequest(sources=sources, params=PARAMS))
     run_tensor = engine.run_tensor_queries(
         sources=sources[: scale.queries_small], params=PARAMS
     )

@@ -18,7 +18,7 @@ exactly as in the paper's +Overlap row).
 
 from benchmarks import common
 from benchmarks.common import bench_scale, engine_config, get_sharded
-from repro.engine import GraphEngine
+from repro.engine import GraphEngine, RunRequest
 from repro.engine.query import sample_sources
 from repro.ppr import OptLevel, PPRParams
 
@@ -29,7 +29,7 @@ N_MACHINES = 2
 
 def run_level(engine, sources, opt: OptLevel) -> tuple[dict, dict]:
     engine.config.opt = opt
-    run = engine.run_queries(sources=sources, params=ABLATION_PARAMS)
+    run = engine.run(RunRequest(sources=sources, params=ABLATION_PARAMS))
     row = {
         "Level": opt.value,
         "Local Fetch (s)": round(run.phases["local_fetch"], 4),

@@ -14,7 +14,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import EngineConfig, GraphEngine, PPRParams, load_dataset
+from repro import EngineConfig, GraphEngine, PPRParams, RunRequest, load_dataset
 from repro.ppr import forward_push_parallel, topk_nodes
 
 
@@ -33,7 +33,7 @@ def main() -> None:
     params = PPRParams(alpha=0.462, epsilon=1e-6)
     print(f"\nrunning 16 SSPPR queries (alpha={params.alpha}, "
           f"eps={params.epsilon:g})...")
-    run = engine.run_queries(n_queries=16, params=params, keep_states=True)
+    run = engine.run(RunRequest(n_queries=16, params=params, keep_states=True))
     print(f"throughput: {run.throughput:.1f} queries/s (virtual time)")
     print(f"makespan:   {run.makespan * 1e3:.2f} ms across "
           f"{len(run.per_proc_clocks)} computing processes")

@@ -13,7 +13,7 @@ Runs the same SSPPR batch at each cumulative optimization level
 Run:  python examples/rpc_ablation_demo.py
 """
 
-from repro import EngineConfig, GraphEngine, OptLevel, PPRParams, load_dataset
+from repro import EngineConfig, GraphEngine, OptLevel, PPRParams, RunRequest, load_dataset
 
 EXPLANATIONS = {
     OptLevel.SINGLE: "one RPC per activated vertex, per-node tensor lists",
@@ -43,7 +43,7 @@ def main() -> None:
         if sources is None:
             from repro.engine.query import sample_sources
             sources = sample_sources(engine.sharded, 4, seed=21)
-        run = engine.run_queries(sources=sources, params=params)
+        run = engine.run(RunRequest(sources=sources, params=params))
         if baseline is None:
             baseline = run.makespan
         print(f"{opt.value:<10} {run.makespan * 1e3:>10.2f} "

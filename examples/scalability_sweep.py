@@ -15,7 +15,7 @@ Run:  python examples/scalability_sweep.py
 
 import numpy as np
 
-from repro import EngineConfig, GraphEngine, PPRParams, load_dataset
+from repro import EngineConfig, GraphEngine, PPRParams, RunRequest, load_dataset
 from repro.graph import powerlaw_cluster
 from repro.partition import HashPartitioner, MetisLitePartitioner
 
@@ -27,7 +27,7 @@ def machine_scaling() -> None:
         cfg = EngineConfig(n_machines=k,
                            partitioner=MetisLitePartitioner(seed=0))
         engine = GraphEngine(graph, cfg)
-        run = engine.run_queries(n_queries=16, seed=3)
+        run = engine.run(RunRequest(n_queries=16, seed=3))
         share = run.remote_requests / max(
             run.remote_requests + run.local_calls, 1
         )
@@ -43,8 +43,8 @@ def process_scaling() -> None:
         cfg = EngineConfig(n_machines=2, procs_per_machine=procs,
                            partitioner=MetisLitePartitioner(seed=0))
         engine = GraphEngine(graph, cfg)
-        strong = engine.run_queries(n_queries=32, seed=5)
-        weak = engine.run_queries(n_queries=8 * procs * 2, seed=7)
+        strong = engine.run(RunRequest(n_queries=32, seed=5))
+        weak = engine.run(RunRequest(n_queries=8 * procs * 2, seed=7))
         if base is None:
             base = (strong.throughput, weak.throughput)
         print(f"  {procs} procs/machine: strong {strong.throughput:>7.1f} q/s "
@@ -62,8 +62,8 @@ def crossover() -> None:
         engine = GraphEngine(graph, EngineConfig(
             n_machines=4, partitioner=HashPartitioner()
         ))
-        run_e = engine.run_queries(n_queries=4, seed=7, params=params,
-                                   keep_states=True)
+        run_e = engine.run(RunRequest(n_queries=4, seed=7, params=params,
+                                   keep_states=True))
         run_t = engine.run_tensor_queries(
             sources=np.array(sorted(run_e.states)), seed=7, params=params
         )

@@ -15,6 +15,9 @@ Downstream-friendly entry points for the preprocessing / query pipeline:
   ``.txt``/``.json`` result siblings; ``bench quick`` is the legacy
   one-shot engine-vs-baselines comparison (a bare ``bench <graph>`` still
   routes there);
+* ``serve``      — multi-tenant open-loop serving: replay a seeded Poisson
+  or bursty arrival trace through a session (admission control, cross-tenant
+  batching, SLO accounting; see ``docs/serving.md``);
 * ``chaos``      — a clean-vs-faulty run under an injected fault plan;
 * ``profile``    — run a traced batch and export metrics as a Chrome trace
   (``--format chrome``), machine-readable JSON (``stats``), or an aligned
@@ -65,10 +68,28 @@ def _load_graph(args) -> tuple[str, object]:
     return path.stem, load_npz(path)
 
 
+#: named stand-in scales, matching the bench observatory's tiers
+NAMED_SCALES = {"tiny": 0.04, "small": 0.25, "full": 1.0}
+
+
+def _scale_value(text: str) -> float:
+    """``--scale`` accepts a named tier (tiny/small/full) or a float."""
+    if text in NAMED_SCALES:
+        return NAMED_SCALES[text]
+    try:
+        return float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is neither a named scale ({sorted(NAMED_SCALES)}) "
+            "nor a number"
+        ) from None
+
+
 def _add_graph_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("graph", help="dataset name or graph .npz path")
-    p.add_argument("--scale", type=float, default=0.1,
-                   help="stand-in scale when loading by name (default 0.1)")
+    p.add_argument("--scale", type=_scale_value, default=0.1,
+                   help="stand-in scale when loading by name: a fraction "
+                        "or tiny/small/full (default 0.1)")
 
 
 def cmd_info(args) -> int:
@@ -409,6 +430,70 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def _parse_tenants(spec: str):
+    """``name[:priority[:quota[:weight]]],...`` -> tuple of TenantSpec."""
+    from repro.serving import TenantSpec
+
+    if not spec:
+        return ()
+    out = []
+    for part in spec.split(","):
+        bits = part.strip().split(":")
+        if not bits or not bits[0]:
+            raise SystemExit(f"error: bad tenant spec {part!r}")
+        try:
+            out.append(TenantSpec(
+                bits[0],
+                priority=int(bits[1]) if len(bits) > 1 else 0,
+                quota=int(bits[2]) if len(bits) > 2 and bits[2] else None,
+                weight=float(bits[3]) if len(bits) > 3 else 1.0,
+            ))
+        except ValueError as exc:
+            raise SystemExit(f"error: bad tenant spec {part!r}: {exc}")
+    return tuple(out)
+
+
+def cmd_serve(args) -> int:
+    """Replay a seeded open-loop trace through a serving session."""
+    import json as _json
+
+    from repro.rpc import RetryPolicy as _RetryPolicy
+    from repro.serving import TRACES, SessionConfig, serve_trace
+
+    engine = _engine_from_args(args)
+    tenants = _parse_tenants(args.tenants)
+    pool = np.arange(engine.graph.n_nodes)
+    kwargs = dict(rate=args.rate, duration=args.duration, seed=args.seed,
+                  tenants=tenants, walk_frac=args.walk_frac,
+                  walk_length=args.walk_length)
+    if args.trace == "bursty":
+        kwargs.update(burst_factor=args.burst_factor, period=args.period,
+                      duty=args.duty)
+    trace = TRACES[args.trace](pool, **kwargs)
+
+    fault_plan = None
+    retry_policy = None
+    if args.drop > 0:
+        fault_plan = FaultPlan(seed=args.fault_seed, drop_prob=args.drop)
+        retry_policy = _RetryPolicy(max_attempts=args.max_attempts,
+                                    timeout=args.timeout)
+    config = SessionConfig(
+        mode=args.mode, runtime=args.runtime, tenants=tenants,
+        queue_cap=args.queue_cap, batch_cap=args.batch_cap, slo=args.slo,
+        batch_window=args.window, fault_plan=fault_plan,
+        retry_policy=retry_policy,
+    )
+    report = serve_trace(engine, trace, config)
+    if args.json:
+        print(_json.dumps(report.row(), indent=1))
+        return 0
+    print(f"serving {args.graph} on {engine.config.n_machines} machines "
+          f"({args.runtime} runtime, mode={args.mode}"
+          + (f", chaos drop={args.drop:g}" if fault_plan else "") + ")")
+    print(report.describe())
+    return 0
+
+
 def cmd_analyze(args) -> int:
     """Static-analysis gate: lint the tree, exit 1 naming each violation."""
     import json as _json
@@ -555,6 +640,65 @@ def build_parser() -> argparse.ArgumentParser:
                         help="check results/*.txt against *.json siblings")
     add_results_dir(b)
     b.set_defaults(fn=cmd_bench_lint)
+
+    p = sub.add_parser("serve",
+                       help="multi-tenant open-loop serving (docs/serving.md)")
+    p.add_argument("graph", nargs="?", default="products",
+                   help="dataset name or graph .npz path (default products)")
+    p.add_argument("--scale", type=_scale_value, default=0.1,
+                   help="stand-in scale: a fraction or tiny/small/full")
+    p.add_argument("--shards", default=None,
+                   help="load a saved sharded graph instead")
+    p.add_argument("--machines", type=int, default=4)
+    p.add_argument("--procs", type=int, default=1)
+    p.add_argument("--no-fetch", action="store_true",
+                   help="disable the adaptive fetch layer")
+    p.add_argument("--fetch-cache-bytes", type=int, default=None,
+                   help="hot-vertex cache budget per machine")
+    p.add_argument("--trace", default="poisson",
+                   choices=("poisson", "bursty"),
+                   help="arrival process (seeded, open-loop)")
+    p.add_argument("--rate", type=float, default=200.0,
+                   help="mean arrivals per virtual second")
+    p.add_argument("--duration", type=float, default=0.5,
+                   help="trace length in virtual seconds")
+    p.add_argument("--seed", type=int, default=0,
+                   help="trace seed (same seed -> identical workload)")
+    p.add_argument("--tenants", default="gold:2:32:2,free:0:8:1",
+                   help="comma list of name[:priority[:quota[:weight]]] "
+                        "('' = single default tenant)")
+    p.add_argument("--slo", type=float, default=0.05,
+                   help="per-query latency SLO, virtual seconds")
+    p.add_argument("--queue-cap", type=int, default=64,
+                   help="bounded admission queue capacity")
+    p.add_argument("--batch-cap", type=int, default=16,
+                   help="max queries fused into one batch")
+    p.add_argument("--window", type=float, default=0.0,
+                   help="min virtual seconds between batch dispatches")
+    p.add_argument("--walk-frac", type=float, default=0.0,
+                   help="fraction of arrivals that are walk queries")
+    p.add_argument("--walk-length", type=int, default=8)
+    p.add_argument("--mode", default="batched",
+                   choices=("engine", "tensor", "batched"),
+                   help="fused execution mode for SSPPR batches")
+    p.add_argument("--runtime", default="sim", choices=("sim", "threads"),
+                   help="drain on the virtual-time scheduler or real "
+                        "threads (identical outputs either way)")
+    p.add_argument("--drop", type=float, default=0.0,
+                   help="chaos: per-message drop probability")
+    p.add_argument("--fault-seed", type=int, default=7)
+    p.add_argument("--max-attempts", type=int, default=6)
+    p.add_argument("--timeout", type=float, default=0.05,
+                   help="per-attempt RPC timeout, virtual seconds")
+    p.add_argument("--burst-factor", type=float, default=8.0,
+                   help="bursty trace: burst-to-base intensity ratio")
+    p.add_argument("--period", type=float, default=0.2,
+                   help="bursty trace: burst cycle length, seconds")
+    p.add_argument("--duty", type=float, default=0.25,
+                   help="bursty trace: fraction of each cycle in burst")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report row as JSON")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("chaos", help="clean vs faulty run, one shot")
     add_engine_args(p)

@@ -17,39 +17,49 @@ at zero — matching the paper's repeated-run measurement protocol.
 :meth:`GraphEngine.run` takes a :class:`~repro.engine.request.RunRequest`
 bundling the query set, PPR parameters, optimization level, tracing, and
 the fault-tolerance knobs (``FaultPlan`` / ``RetryPolicy`` / degradation
-mode).  The older ``run_queries(...)`` keyword surface survives as a
-deprecated shim.
+mode).  It is a thin wrapper over the serving layer's
+:class:`~repro.serving.Session` — ``engine.run(request)`` opens a
+throwaway session and executes through the same code path that
+``session.drain()`` uses, so batch and serving runs are byte-for-byte
+identical by construction.  Long-lived multi-tenant serving goes through
+:meth:`GraphEngine.open_session` (docs/serving.md).
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.engine.breakdown import aggregate_breakdowns
 from repro.engine.cluster import SimCluster
 from repro.engine.config import EngineConfig
-from repro.engine.query import (
-    assign_queries,
-    multi_query_batched_driver,
-    multi_query_driver,
-    multi_query_tensor_driver,
-    sample_sources,
-)
+from repro.engine.query import assign_queries, sample_sources
 from repro.engine.request import RunRequest
 from repro.graph.csr import CSRGraph
 from repro.ppr.params import PPRParams
 from repro.storage.build import ShardedGraph, build_shards
 from repro.storage.dist_storage import DistGraphStorage
-from repro.storage.fetch import FetchCache, NeighborFetchService
 from repro.walk.random_walk import distributed_random_walk
 
 
 @dataclass
 class QueryRunResult:
-    """Outcome of one batched query run."""
+    """Outcome of one batched query run — THE stable result schema.
+
+    Every execution path (``engine.run``, ``session.drain``, the thread
+    runtime mirror) returns this exact shape; tools and benchmarks may
+    rely on these typed fields rather than digging through the
+    ``metrics`` snapshot.  Fields group as:
+
+    * batch outcome — ``n_queries``, ``makespan``, ``throughput``,
+      ``phases``, ``per_proc_clocks``, ``states``, ``latencies``;
+    * transport accounting — ``remote_requests``, ``local_calls``;
+    * fault tolerance — ``retries``, ``timeouts``, ``dropped_messages``,
+      ``degraded_queries``, ``abandoned_mass``;
+    * serving-mode counters (zero outside a session) — ``admitted``,
+      ``rejected``, ``deadline_missed``;
+    * diagnostics — ``trace``, ``metrics``, ``obs``, ``race_violations``.
+    """
 
     n_queries: int
     makespan: float               # virtual seconds, max over compute procs
@@ -70,6 +80,12 @@ class QueryRunResult:
     dropped_messages: int = 0     # requests lost on the injected network
     degraded_queries: int = 0     # queries that abandoned >= 1 remote fetch
     abandoned_mass: float = 0.0   # total residual written off by skip_remote
+    #: serving-mode counters, first-class (zero for plain batch runs):
+    #: queries executed in this drained batch / admission rejections since
+    #: the previous drain / this batch's SLO deadline misses
+    admitted: int = 0
+    rejected: int = 0
+    deadline_missed: int = 0
     #: flat MetricsRegistry snapshot (rpc.* counters, rpc.latency
     #: percentiles, engine.* gauges) — identical counter values on the
     #: virtual-time scheduler and the thread runtime
@@ -130,6 +146,20 @@ class GraphEngine:
                                         seed=self.config.seed,
                                         halo_hops=self.config.halo_hops)
 
+    # -- serving -----------------------------------------------------------
+    def open_session(self, config=None):
+        """Open a long-lived serving session over this engine.
+
+        ``config`` is a :class:`~repro.serving.SessionConfig` (tenancy,
+        SLO, batching cadence, runtime).  The returned
+        :class:`~repro.serving.Session` exposes
+        ``submit(Query, tenant=...) -> QueryHandle`` and ``drain()``;
+        see docs/serving.md.
+        """
+        from repro.serving.session import Session
+
+        return Session(self, config)
+
     # -- SSPPR -------------------------------------------------------------
     def run(self, request: RunRequest) -> QueryRunResult:
         """Run one batched SSPPR request — the engine's query entry point.
@@ -138,6 +168,9 @@ class GraphEngine:
         inter-query batching), deploys a fresh cluster with the request's
         tracing, fault-plan, and retry-policy overrides, and reports the
         fault-tolerance counters alongside the usual throughput numbers.
+        Thin wrapper over a throwaway serving session — the body lives in
+        :meth:`repro.serving.Session._execute`, the single execution path
+        shared with ``session.drain()``.
 
         Under ``degradation=fail_fast`` (the default), the first remote
         fetch that exhausts its retries propagates as
@@ -146,164 +179,9 @@ class GraphEngine:
         ``skip_remote`` the batch completes and the accuracy loss is
         accounted in ``degraded_queries`` / ``abandoned_mass``.
         """
-        cfg = self.config
-        params = request.params if request.params is not None else PPRParams()
-        seed = cfg.seed if request.seed is None else request.seed
-        if request.sources is not None:
-            sources = request.sources
-        else:
-            sources = sample_sources(self.sharded, request.n_queries,
-                                     seed=seed)
-        opt = request.opt if request.opt is not None else cfg.opt
+        from repro.serving.session import Session
 
-        sanitizer = None
-        if request.sanitize:
-            from repro.analysis.race import RaceDetector
-
-            sanitizer = RaceDetector()
-
-        cluster = SimCluster(self.sharded, cfg,
-                             trace_rpc=request.trace_rpc,
-                             fault_plan=request.fault_plan,
-                             retry_policy=request.resolved_retry_policy(),
-                             trace=request.trace,
-                             max_spans=request.max_spans,
-                             sanitizer=sanitizer)
-        assignment = assign_queries(self.sharded, sources,
-                                    cfg.procs_per_machine)
-
-        fetch_split = (cfg.fetch_split if request.fetch_split is None
-                       else request.fetch_split)
-        fetch_cache_bytes = (cfg.fetch_cache_bytes
-                            if request.fetch_cache_bytes is None
-                            else request.fetch_cache_bytes)
-        fetch_coalesce = (cfg.fetch_coalesce if request.fetch_coalesce is None
-                          else request.fetch_coalesce)
-        # one FetchCache per machine, shared by its computing processes —
-        # that sharing is what makes cross-request coalescing fire
-        fetch_caches: dict[int, FetchCache] = {}
-
-        def wrap_fetch(g, machine, name):
-            if not (g.compress and (fetch_split or fetch_cache_bytes > 0)):
-                return g
-            fc = fetch_caches.get(machine)
-            if fc is None:
-                fc = fetch_caches[machine] = FetchCache(
-                    fetch_cache_bytes, sanitizer=sanitizer
-                )
-            return NeighborFetchService(
-                g, fc, split=fetch_split, coalesce=fetch_coalesce,
-                metrics=cluster.obs.metrics, proc=_late_proc(cluster, name),
-            )
-
-        states: dict[int, object] = {}
-        latencies: dict[int, float] = {}
-        fault_stats = {"degraded_queries": 0, "abandoned_mass": 0.0}
-        # batched mode always collects: its per-query views are the only
-        # way to read results back out of the shared MultiSSPPR
-        collect = states if (request.keep_states
-                             or request.mode == "batched") else None
-        for (machine, proc_index), chunk in assignment.items():
-            name = cfg.worker_name(machine, proc_index)
-            if request.mode == "tensor":
-                g = wrap_fetch(DistGraphStorage(cluster.rrefs, machine, name,
-                                                compress=True), machine, name)
-                body = multi_query_tensor_driver(
-                    g, _late_proc(cluster, name), chunk, self.sharded,
-                    params, collect=collect,
-                )
-            elif request.mode == "batched":
-                g = wrap_fetch(DistGraphStorage(cluster.rrefs, machine, name,
-                                                compress=True), machine, name)
-                body = multi_query_batched_driver(
-                    g, _late_proc(cluster, name), chunk, self.sharded,
-                    params, collect=collect,
-                )
-            else:
-                g = wrap_fetch(DistGraphStorage(cluster.rrefs, machine, name,
-                                                compress=opt.compressed),
-                               machine, name)
-                body = multi_query_driver(
-                    g, _late_proc(cluster, name), chunk, self.sharded,
-                    params, opt=opt, collect=collect,
-                    latencies=latencies, degradation=request.degradation,
-                    fault_stats=fault_stats,
-                )
-            cluster.spawn_compute(machine, proc_index, body)
-
-        if sanitizer is not None:
-            from repro.analysis.race import installed
-
-            with installed(sanitizer):
-                makespan = cluster.run()
-        else:
-            makespan = cluster.run()
-        procs = cluster.compute_processes()
-        # surface driver failures (fail_fast): result_of re-raises the
-        # exception a compute process finished with
-        for p in procs:
-            cluster.scheduler.result_of(p.name)
-        phases = aggregate_breakdowns([p.breakdown for p in procs])
-        ctx = cluster.ctx
-        obs = cluster.obs
-        if fetch_caches:
-            obs.metrics.set("fetch.cache_bytes",
-                            sum(fc.nbytes for fc in fetch_caches.values()))
-            obs.metrics.set("fetch.cache_entries",
-                            sum(len(fc.rows) for fc in fetch_caches.values()))
-        obs.metrics.inc("engine.queries", len(sources))
-        obs.metrics.inc("engine.degraded_queries",
-                        fault_stats["degraded_queries"])
-        obs.metrics.set("engine.makespan", makespan)
-        for state in states.values():
-            # operator-work counts (pure counts — runtime-independent)
-            if hasattr(state, "stats"):
-                for key, val in state.stats().items():
-                    obs.metrics.inc(key, int(val))
-        if ctx.tracer is not None:
-            ctx.tracer.publish(obs.metrics)
-        race_violations: list = []
-        if sanitizer is not None:
-            race_violations = list(sanitizer.report())
-            obs.metrics.inc("sanitizer.accesses", sanitizer.accesses)
-            obs.metrics.inc("sanitizer.violations", len(race_violations))
-        return QueryRunResult(
-            n_queries=len(sources),
-            makespan=makespan,
-            throughput=len(sources) / makespan if makespan > 0 else float("inf"),
-            phases=phases,
-            per_proc_clocks={p.name: p.clock for p in procs},
-            remote_requests=ctx.remote_requests,
-            local_calls=ctx.local_calls,
-            states=states,
-            trace=ctx.tracer,
-            latencies=latencies,
-            retries=ctx.retries,
-            timeouts=ctx.timeouts,
-            dropped_messages=ctx.dropped_messages,
-            degraded_queries=fault_stats["degraded_queries"],
-            abandoned_mass=fault_stats["abandoned_mass"],
-            metrics=obs.metrics.snapshot(),
-            obs=obs,
-            race_violations=race_violations,
-        )
-
-    def run_queries(self, n_queries: int | None = None, *,
-                    sources: np.ndarray | None = None,
-                    params: PPRParams | None = None,
-                    keep_states: bool = False,
-                    seed: int | None = None) -> QueryRunResult:
-        """Deprecated: use ``engine.run(RunRequest(...))``."""
-        warnings.warn(
-            "GraphEngine.run_queries() is deprecated; use "
-            "engine.run(RunRequest(...))",
-            DeprecationWarning, stacklevel=2,
-        )
-        return self.run(RunRequest(
-            n_queries=n_queries if sources is None else None,
-            sources=sources, params=params, keep_states=keep_states,
-            seed=seed,
-        ))
+        return Session(self)._execute(request)
 
     def run_queries_batched(self, n_queries: int | None = None, *,
                             sources: np.ndarray | None = None,

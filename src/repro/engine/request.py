@@ -14,10 +14,11 @@ degradation mode) — into a single validated value passed to
     ))
     print(run.throughput, run.retries, run.degraded_queries)
 
-This replaces the sprawling ``run_queries(...)`` keyword surface (which
-survives as a deprecated shim).  Requests are frozen: one request can be
+This replaced the sprawling ``run_queries(...)`` keyword surface (the
+deprecated shim is gone).  Requests are frozen: one request can be
 replayed against several engines or configurations and means the same thing
-every time.
+every time.  For long-lived multi-tenant serving, sessions build these
+requests internally — see :mod:`repro.serving` and docs/serving.md.
 """
 
 from __future__ import annotations

@@ -9,7 +9,7 @@ measured wall-clock compute varies.
 import numpy as np
 import pytest
 
-from repro import EngineConfig, GraphEngine, PPRParams
+from repro import EngineConfig, GraphEngine, PPRParams, RunRequest
 from repro.engine.query import sample_sources
 from repro.graph import load_dataset, powerlaw_cluster
 from repro.partition import MetisLitePartitioner
@@ -54,7 +54,7 @@ class TestDeterminism:
         results = []
         for _ in range(2):
             engine = GraphEngine(g, EngineConfig(n_machines=2, seed=0))
-            run = engine.run_queries(n_queries=4, keep_states=True, seed=5)
+            run = engine.run(RunRequest(n_queries=4, keep_states=True, seed=5))
             results.append({
                 gid: s.dense_result(engine.sharded, g.n_nodes)
                 for gid, s in run.states.items()
@@ -69,7 +69,7 @@ class TestDeterminism:
         for _ in range(2):
             engine = GraphEngine(g, EngineConfig(n_machines=3, seed=0,
                                                  trace_rpc=True))
-            run = engine.run_queries(n_queries=6, seed=7)
+            run = engine.run(RunRequest(n_queries=6, seed=7))
             counts.append((run.remote_requests, run.local_calls,
                            run.trace.calls_by_method()))
         assert counts[0] == counts[1]
@@ -133,8 +133,8 @@ class TestEngineStress:
         g = powerlaw_cluster(800, 8, mixing=0.15, seed=5)
         engine = GraphEngine(g, EngineConfig(n_machines=4,
                                              procs_per_machine=2, seed=0))
-        run = engine.run_queries(n_queries=64, seed=11,
-                                 params=PPRParams(epsilon=1e-5))
+        run = engine.run(RunRequest(n_queries=64, seed=11,
+                                 params=PPRParams(epsilon=1e-5)))
         assert run.n_queries == 64
         assert len(run.latencies) == 64
         assert run.makespan > 0

@@ -33,7 +33,7 @@ def engine(graph):
 
 class TestRunQueries:
     def test_basic_run(self, graph, engine):
-        run = engine.run_queries(n_queries=6, keep_states=True)
+        run = engine.run(RunRequest(n_queries=6, keep_states=True))
         assert run.n_queries == 6
         assert run.makespan > 0
         assert run.throughput > 0
@@ -42,7 +42,7 @@ class TestRunQueries:
 
     def test_results_match_reference(self, graph, engine):
         params = PPRParams()
-        run = engine.run_queries(n_queries=4, keep_states=True, seed=5)
+        run = engine.run(RunRequest(n_queries=4, keep_states=True, seed=5))
         bound = 2 * params.epsilon * graph.weighted_degrees.sum()
         for gid, state in run.states.items():
             approx = state.dense_result(engine.sharded, graph.n_nodes)
@@ -52,15 +52,15 @@ class TestRunQueries:
 
     def test_explicit_sources(self, graph, engine):
         sources = np.array([1, 2, 3])
-        run = engine.run_queries(sources=sources, keep_states=True)
+        run = engine.run(RunRequest(sources=sources, keep_states=True))
         assert set(run.states) == {1, 2, 3}
 
     def test_missing_args_rejected(self, engine):
         with pytest.raises(ValueError, match="n_queries or sources"):
-            engine.run_queries()
+            engine.run(RunRequest())
 
     def test_phases_populated(self, engine):
-        run = engine.run_queries(n_queries=4)
+        run = engine.run(RunRequest(n_queries=4))
         assert run.phases["push"] > 0
         assert run.phases["remote_fetch"] > 0
         assert sum(run.phase_ratios().values()) == pytest.approx(1.0)
@@ -70,24 +70,23 @@ class TestRunQueries:
         compare structural counters rather than clocks."""
         e1 = GraphEngine(graph, EngineConfig(n_machines=2, seed=3))
         e2 = GraphEngine(graph, EngineConfig(n_machines=2, seed=3))
-        r1 = e1.run_queries(n_queries=4, seed=9)
-        r2 = e2.run_queries(n_queries=4, seed=9)
+        r1 = e1.run(RunRequest(n_queries=4, seed=9))
+        r2 = e2.run(RunRequest(n_queries=4, seed=9))
         assert r1.remote_requests == r2.remote_requests
         assert r1.local_calls == r2.local_calls
 
     def test_single_machine_no_remote_requests(self, graph):
         e = GraphEngine(graph, EngineConfig(n_machines=1))
-        run = e.run_queries(n_queries=3)
+        run = e.run(RunRequest(n_queries=3))
         assert run.remote_requests == 0
         assert run.phases["remote_fetch"] == 0.0
 
 
 class TestRunRequestApi:
-    def test_run_request_equivalent_to_shim(self, engine):
+    def test_run_is_deterministic_for_equal_requests(self, engine):
         sources = np.array([1, 2, 3])
         new = engine.run(RunRequest(sources=sources, keep_states=True))
-        with pytest.warns(DeprecationWarning, match="run_queries"):
-            old = engine.run_queries(sources=sources, keep_states=True)
+        old = engine.run(RunRequest(sources=sources, keep_states=True))
         assert set(new.states) == set(old.states) == {1, 2, 3}
         for gid in new.states:
             a = new.states[gid].dense_result(engine.sharded,
@@ -95,6 +94,9 @@ class TestRunRequestApi:
             b = old.states[gid].dense_result(engine.sharded,
                                              engine.graph.n_nodes)
             assert np.allclose(a, b)
+
+    def test_run_queries_shim_removed(self, engine):
+        assert not hasattr(engine, "run_queries")
 
     def test_run_does_not_warn(self, engine):
         with warnings.catch_warnings():
@@ -161,8 +163,8 @@ class TestOptLevels:
         cfg = EngineConfig(n_machines=2, opt=opt, seed=1)
         e = GraphEngine(graph, cfg)
         params = PPRParams(epsilon=1e-5)
-        run = e.run_queries(n_queries=2, keep_states=True, params=params,
-                            seed=4)
+        run = e.run(RunRequest(n_queries=2, keep_states=True, params=params,
+                            seed=4))
         bound = 2 * params.epsilon * graph.weighted_degrees.sum()
         for gid, state in run.states.items():
             approx = state.dense_result(e.sharded, graph.n_nodes)
@@ -173,8 +175,8 @@ class TestOptLevels:
         runs = {}
         for opt in (OptLevel.SINGLE, OptLevel.BATCH):
             e = GraphEngine(graph, EngineConfig(n_machines=2, opt=opt, seed=1))
-            runs[opt] = e.run_queries(n_queries=2, seed=4,
-                                      params=PPRParams(epsilon=1e-5))
+            runs[opt] = e.run(RunRequest(n_queries=2, seed=4,
+                                      params=PPRParams(epsilon=1e-5)))
         assert runs[OptLevel.BATCH].remote_requests < \
             0.5 * runs[OptLevel.SINGLE].remote_requests
 
@@ -183,15 +185,15 @@ class TestOptLevels:
         makespans = {}
         for opt in (OptLevel.COMPRESS, OptLevel.OVERLAP):
             e = GraphEngine(graph, EngineConfig(n_machines=2, opt=opt, seed=1))
-            makespans[opt] = e.run_queries(n_queries=4, seed=4).makespan
+            makespans[opt] = e.run(RunRequest(n_queries=4, seed=4)).makespan
         assert makespans[OptLevel.OVERLAP] <= 1.2 * makespans[OptLevel.COMPRESS]
 
 
 class TestTensorBaseline:
     def test_tensor_matches_engine(self, graph, engine):
         params = PPRParams(epsilon=1e-5)
-        a = engine.run_queries(sources=np.array([10, 20]), keep_states=True,
-                               params=params)
+        a = engine.run(RunRequest(sources=np.array([10, 20]), keep_states=True,
+                               params=params))
         b = engine.run_tensor_queries(sources=np.array([10, 20]),
                                       keep_states=True, params=params)
         bound = 2 * params.epsilon * graph.weighted_degrees.sum()
@@ -243,8 +245,8 @@ class TestGilContentionAblation:
         base = EngineConfig(n_machines=2, procs_per_machine=2, seed=1)
         coloc = EngineConfig(n_machines=2, procs_per_machine=2, seed=1,
                              colocate_server=True)
-        t_base = GraphEngine(graph, base).run_queries(n_queries=8, seed=3)
-        t_coloc = GraphEngine(graph, coloc).run_queries(n_queries=8, seed=3)
+        t_base = GraphEngine(graph, base).run(RunRequest(n_queries=8, seed=3))
+        t_coloc = GraphEngine(graph, coloc).run(RunRequest(n_queries=8, seed=3))
         # gil_contention is not a mapped phase -> lands in "other"
         assert t_base.phases["other"] == 0.0
         assert t_coloc.phases["other"] > 0.0
@@ -271,5 +273,5 @@ class TestConfigValidation:
 
     def test_instant_network(self, graph):
         cfg = EngineConfig(n_machines=2, network=NetworkModel.instant())
-        run = GraphEngine(graph, cfg).run_queries(n_queries=2)
+        run = GraphEngine(graph, cfg).run(RunRequest(n_queries=2))
         assert run.phases["remote_fetch"] < run.phases["push"]

@@ -4,7 +4,7 @@ breakdown mapping, latency reporting, and cluster bring-up."""
 import numpy as np
 import pytest
 
-from repro import EngineConfig, GraphEngine
+from repro import EngineConfig, GraphEngine, RunRequest
 from repro.engine.breakdown import PHASES, aggregate_breakdowns, phase_seconds
 from repro.engine.cluster import SimCluster
 from repro.engine.query import assign_queries, sample_sources
@@ -119,7 +119,7 @@ class TestLatencies:
     def test_latency_per_query(self):
         g = powerlaw_cluster(300, 6, mixing=0.2, seed=9)
         engine = GraphEngine(g, EngineConfig(n_machines=2))
-        run = engine.run_queries(n_queries=6, seed=10)
+        run = engine.run(RunRequest(n_queries=6, seed=10))
         assert len(run.latencies) == 6
         assert all(v > 0 for v in run.latencies.values())
         p = run.latency_percentiles()

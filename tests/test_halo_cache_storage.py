@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import EngineConfig, GraphEngine, PPRParams
+from repro import EngineConfig, GraphEngine, PPRParams, RunRequest
 from repro.errors import ShardError
 from repro.graph import powerlaw_cluster
 from repro.partition import HashPartitioner, MetisLitePartitioner
@@ -97,9 +97,9 @@ class TestEngineWithCache:
         g = powerlaw_cluster(500, 8, mixing=0.2, seed=6)
         e1 = GraphEngine(g, EngineConfig(n_machines=3, halo_hops=1, seed=0))
         e2 = GraphEngine(g, EngineConfig(n_machines=3, halo_hops=2, seed=0))
-        r1 = e1.run_queries(n_queries=6, keep_states=True, seed=7)
-        r2 = e2.run_queries(sources=np.array(sorted(r1.states)),
-                            keep_states=True, seed=7)
+        r1 = e1.run(RunRequest(n_queries=6, keep_states=True, seed=7))
+        r2 = e2.run(RunRequest(sources=np.array(sorted(r1.states)),
+                            keep_states=True, seed=7))
         bound = 2 * PARAMS.epsilon * g.weighted_degrees.sum()
         for gid in r1.states:
             ref, _, _ = forward_push_parallel(g, gid, PARAMS)
@@ -110,8 +110,8 @@ class TestEngineWithCache:
         g = powerlaw_cluster(500, 8, mixing=0.3, seed=8)
         e1 = GraphEngine(g, EngineConfig(n_machines=3, halo_hops=1, seed=0))
         e2 = GraphEngine(g, EngineConfig(n_machines=3, halo_hops=2, seed=0))
-        r1 = e1.run_queries(n_queries=8, seed=9)
-        r2 = e2.run_queries(n_queries=8, seed=9)
+        r1 = e1.run(RunRequest(n_queries=8, seed=9))
+        r2 = e2.run(RunRequest(n_queries=8, seed=9))
         assert r2.remote_requests < r1.remote_requests
 
     def test_config_validation(self):

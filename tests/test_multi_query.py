@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import EngineConfig, GraphEngine, PPRParams
+from repro import EngineConfig, GraphEngine, PPRParams, RunRequest
 from repro.graph import erdos_renyi, powerlaw_cluster
 from repro.partition import HashPartitioner
 from repro.ppr import MultiSSPPR, forward_push_parallel
@@ -93,7 +93,7 @@ class TestEngineBatchedQueries:
     def test_matches_sequential_engine(self):
         g = powerlaw_cluster(600, 8, mixing=0.15, seed=4)
         engine = GraphEngine(g, EngineConfig(n_machines=3, seed=0))
-        seq = engine.run_queries(n_queries=9, keep_states=True, seed=5)
+        seq = engine.run(RunRequest(n_queries=9, keep_states=True, seed=5))
         bat = engine.run_queries_batched(
             sources=np.array(sorted(seq.states)), seed=5
         )
@@ -107,7 +107,7 @@ class TestEngineBatchedQueries:
     def test_fewer_rpcs_than_sequential(self):
         g = powerlaw_cluster(600, 8, mixing=0.3, seed=6)
         engine = GraphEngine(g, EngineConfig(n_machines=3, seed=0))
-        seq = engine.run_queries(n_queries=12, seed=7)
+        seq = engine.run(RunRequest(n_queries=12, seed=7))
         bat = engine.run_queries_batched(n_queries=12, seed=7)
         assert bat.remote_requests < seq.remote_requests
 

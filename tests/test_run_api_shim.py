@@ -1,13 +1,12 @@
-"""The deprecated ``run_queries`` shim and latency-percentile edges.
+"""The stable ``QueryRunResult`` schema and latency-percentile edges.
 
-``GraphEngine.run_queries(...)`` survives only as a forwarding wrapper
-over ``engine.run(RunRequest(...))``; these tests pin its contract —
-warns as deprecated, forwards every keyword, returns the same result —
-plus the degenerate ``latency_percentiles`` inputs (0 and 1 samples)
-that historically tripped ``np.percentile``.
+``engine.run(RunRequest(...))`` is the one batch entry point (the
+deprecated ``run_queries`` shim was removed once serving landed); these
+tests pin the result-schema contract — the typed serving counters default
+to zero on plain batch runs, convenience wrappers return the same shape —
+plus the degenerate ``latency_percentiles`` inputs (0 and 1 samples) that
+historically tripped ``np.percentile``.
 """
-
-import warnings
 
 import numpy as np
 import pytest
@@ -24,40 +23,33 @@ def engine():
     return GraphEngine(graph, EngineConfig(n_machines=2))
 
 
-class TestRunQueriesShim:
-    def test_warns_deprecation(self, engine):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            engine.run_queries(n_queries=2)
-        deps = [w for w in caught
-                if issubclass(w.category, DeprecationWarning)]
-        assert len(deps) == 1
-        assert "RunRequest" in str(deps[0].message)
+class TestResultSchema:
+    def test_shim_is_gone(self, engine):
+        assert not hasattr(engine, "run_queries")
+
+    def test_serving_counters_default_zero_on_batch_runs(self, engine):
+        run = engine.run(RunRequest(n_queries=3))
+        assert isinstance(run, QueryRunResult)
+        assert (run.admitted, run.rejected, run.deadline_missed) == (0, 0, 0)
 
     def test_forwards_all_kwargs(self, engine):
         sources = sample_sources(engine.sharded, 3, seed=5)
         params = PPRParams(epsilon=1e-4)
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            run = engine.run_queries(sources=sources, params=params,
-                                     keep_states=True, seed=5)
+        run = engine.run(RunRequest(sources=sources, params=params,
+                                    keep_states=True, seed=5))
         assert run.n_queries == 3
         assert sorted(run.states) == sorted(sources.tolist())
 
-    def test_result_equals_run(self, engine):
-        """The shim is a pure forwarder: same deterministic outputs as
-        the equivalent ``engine.run(RunRequest(...))``."""
+    def test_wrappers_share_the_run_path(self, engine):
+        """Convenience wrappers are pure forwarders over ``run``: same
+        deterministic outputs as the equivalent explicit request."""
         sources = sample_sources(engine.sharded, 4, seed=9)
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            old = engine.run_queries(sources=sources, keep_states=True)
-        new = engine.run(RunRequest(sources=sources, keep_states=True))
+        old = engine.run_queries_batched(sources=sources)
+        new = engine.run(RunRequest(sources=sources, mode="batched"))
         assert isinstance(old, QueryRunResult)
         assert old.n_queries == new.n_queries
         assert old.remote_requests == new.remote_requests
         assert old.local_calls == new.local_calls
-        # makespan carries sampled network jitter and is deliberately
-        # not compared; the call/result contract is what the shim pins
         assert old.states.keys() == new.states.keys()
         n = engine.graph.n_nodes
         for gid in old.states:
@@ -66,12 +58,9 @@ class TestRunQueriesShim:
                 new.states[gid].dense_result(engine.sharded, n),
             )
 
-    def test_n_queries_conflict_still_enforced(self, engine):
+    def test_sources_win_over_n_queries(self, engine):
         sources = sample_sources(engine.sharded, 2, seed=0)
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            # sources win; n_queries is dropped rather than conflicting
-            run = engine.run_queries(n_queries=99, sources=sources)
+        run = engine.run(RunRequest(sources=sources))
         assert run.n_queries == 2
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import EngineConfig, GraphEngine
+from repro import EngineConfig, GraphEngine, RunRequest
 from repro.graph import powerlaw_cluster, save_npz
 from repro.partition import MetisLitePartitioner
 from repro.rpc.tracing import RpcCallRecord, RpcTracer
@@ -16,7 +16,7 @@ class TestRpcTracer:
         g = powerlaw_cluster(400, 6, mixing=0.2, seed=0)
         engine = GraphEngine(g, EngineConfig(n_machines=2, trace_rpc=True,
                                              seed=0))
-        run = engine.run_queries(n_queries=4, seed=1)
+        run = engine.run(RunRequest(n_queries=4, seed=1))
         assert run.trace is not None
         assert len(run.trace) == run.remote_requests + run.local_calls
         assert len(run.trace.remote_records()) == run.remote_requests
@@ -24,14 +24,14 @@ class TestRpcTracer:
     def test_tracing_disabled_by_default(self):
         g = powerlaw_cluster(200, 5, seed=1)
         engine = GraphEngine(g, EngineConfig(n_machines=2, seed=0))
-        run = engine.run_queries(n_queries=2)
+        run = engine.run(RunRequest(n_queries=2))
         assert run.trace is None
 
     def test_machine_matrix_off_diagonal(self):
         g = powerlaw_cluster(400, 6, mixing=0.3, seed=2)
         engine = GraphEngine(g, EngineConfig(n_machines=3, trace_rpc=True,
                                              seed=0))
-        run = engine.run_queries(n_queries=6, seed=3)
+        run = engine.run(RunRequest(n_queries=6, seed=3))
         m = run.trace.machine_matrix(3)
         assert np.trace(m) == 0  # local calls aren't remote records
         assert m.sum() == run.remote_requests
@@ -40,7 +40,7 @@ class TestRpcTracer:
         g = powerlaw_cluster(300, 5, seed=3)
         engine = GraphEngine(g, EngineConfig(n_machines=2, trace_rpc=True,
                                              seed=0))
-        run = engine.run_queries(n_queries=3, seed=4)
+        run = engine.run(RunRequest(n_queries=3, seed=4))
         s = run.trace.summary(2)
         assert s["calls_total"] >= s["calls_remote"]
         assert "get_neighbor_batch" in s["by_method"] or \
@@ -104,7 +104,7 @@ class TestPersistence:
         loaded = load_sharded(path)
         engine = GraphEngine(loaded.graph, EngineConfig(n_machines=2),
                              sharded=loaded)
-        run = engine.run_queries(n_queries=3)
+        run = engine.run(RunRequest(n_queries=3))
         assert run.throughput > 0
 
 
