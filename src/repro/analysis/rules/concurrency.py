@@ -212,7 +212,7 @@ class Rep005BlockingCall(Rule):
     id = "REP005"
     title = "blocking call inside a simt coroutine"
     scope_dirs = ("simt", "rpc", "engine", "ppr", "walk", "storage",
-                  "serving")
+                  "serving", "stream")
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         for func in ast.walk(ctx.tree):

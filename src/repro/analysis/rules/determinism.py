@@ -156,7 +156,8 @@ class Rep003UnorderedIteration(Rule):
 
     id = "REP003"
     title = "unordered set/keys iteration in a dispatch-order path"
-    scope_dirs = ("simt", "rpc", "engine", "partition", "serving")
+    scope_dirs = ("simt", "rpc", "engine", "partition", "serving",
+                  "stream")
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         for node in ast.walk(ctx.tree):

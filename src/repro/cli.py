@@ -187,6 +187,59 @@ def cmd_walk(args) -> int:
     return 0
 
 
+def cmd_stream(args) -> int:
+    from repro.engine.query import sample_sources
+    from repro.stream import (StreamConfig, StreamEvent, StreamingSession,
+                              TemporalEdgeStream)
+
+    engine = _engine_from_args(args)
+    params = PPRParams(alpha=args.alpha, epsilon=args.epsilon)
+    session = StreamingSession(engine, StreamConfig(
+        runtime=args.runtime, params=params,
+        refresh_every=args.refresh_every,
+    ))
+    published = sample_sources(engine.sharded, args.publish, seed=args.seed)
+    session.publish(published)
+    stream = TemporalEdgeStream(engine.graph, seed=args.seed,
+                                batch_size=args.batch_size)
+    query_pool = sample_sources(engine.sharded, max(args.queries, 1),
+                                seed=args.seed + 1)
+    events = []
+    for i in range(args.batches):
+        if args.queries:
+            events.append(StreamEvent(
+                kind="query",
+                source=int(query_pool[i % len(query_pool)])))
+        events.append(StreamEvent(kind="update", batch=stream.next_batch()))
+        if args.rebalance_every and (i + 1) % args.rebalance_every == 0:
+            events.append(StreamEvent(kind="rebalance"))
+    report = session.run_stream(events)
+
+    snap = session.metrics.snapshot()
+    print(f"{report.n_batches} update batches "
+          f"({report.n_applied} applied, {report.n_failed} failed), "
+          f"{report.n_queries} queries, {report.n_refreshes} refreshes, "
+          f"clock {report.clock * 1e3:.2f} ms")
+    print(f"arcs: +{snap.get('stream.arcs_inserted', 0)} "
+          f"-{snap.get('stream.arcs_deleted', 0)} "
+          f"~{snap.get('stream.arcs_reweighted', 0)}; "
+          f"staged rows {snap.get('stream.staged_rows', 0)}")
+    print(f"incremental maintenance: "
+          f"{snap.get('stream.refresh_corrections', 0)} corrections, "
+          f"{snap.get('stream.refresh_pushes', 0)} signed pushes "
+          f"across {len(session.states)} published vectors")
+    for rb in report.rebalance_reports:
+        print(f"rebalance: {rb.n_migrated} migrated, "
+              f"{rb.n_replicated} replicated, "
+              f"{rb.bytes_copied} bytes copied")
+    src = int(published[0])
+    p, r = session.published(src)
+    order = np.argsort(-p)[: args.top]
+    print(f"top-{args.top} for source {src}: "
+          + ", ".join(f"{int(g)}({p[g]:.4f})" for g in order))
+    return 0
+
+
 def cmd_bench_quick(args) -> int:
     engine = _engine_from_args(args)
     params = PPRParams(alpha=args.alpha, epsilon=args.epsilon)
@@ -576,6 +629,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--roots", type=int, default=16)
     p.add_argument("--length", type=int, default=8)
     p.set_defaults(fn=cmd_walk)
+
+    p = sub.add_parser("stream",
+                       help="streaming updates: incremental PPR + "
+                            "telemetry-driven rebalancing")
+    add_engine_args(p)
+    p.add_argument("--runtime", choices=("sim", "threads"), default="sim")
+    p.add_argument("--batches", type=int, default=8,
+                   help="update batches to stream")
+    p.add_argument("--batch-size", type=int, default=16,
+                   help="edge events per batch")
+    p.add_argument("--publish", type=int, default=4,
+                   help="PPR vectors published and maintained")
+    p.add_argument("--queries", type=int, default=8,
+                   help="queries interleaved with the stream (0 = none)")
+    p.add_argument("--refresh-every", type=int, default=1,
+                   help="refresh published vectors every N batches")
+    p.add_argument("--rebalance-every", type=int, default=4,
+                   help="rebalance epoch length in batches (0 = never)")
+    p.add_argument("--alpha", type=float, default=0.2)
+    p.add_argument("--epsilon", type=float, default=1e-4)
+    p.add_argument("--top", type=int, default=5)
+    p.set_defaults(fn=cmd_stream)
 
     p = sub.add_parser("bench",
                        help="benchmark observatory: run/report/diff/check")

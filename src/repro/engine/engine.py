@@ -93,6 +93,10 @@ class QueryRunResult:
     #: the run's Obs bundle; ``obs.tracer`` holds the spans when
     #: ``RunRequest(trace=True)`` (export with repro.obs.write_chrome_trace)
     obs: object = field(repr=False, default=None)
+    #: per-machine remote-row demand: machine -> {packed owner key ->
+    #: request count}, gathered by the fetch layer; feeds the
+    #: telemetry-driven shard rebalancer (``repro.stream.rebalance``)
+    heat: dict = field(repr=False, default_factory=dict)
     #: lockset violations found by the race sanitizer
     #: (``RunRequest(sanitize=True)``); always empty when sanitize is off,
     #: and empty on any clean run — the virtual-time runtime is

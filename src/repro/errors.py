@@ -52,3 +52,22 @@ class SimulationError(ReproError):
 
 class ConvergenceError(ReproError):
     """An iterative solver exceeded its iteration budget."""
+
+
+class StreamError(ReproError):
+    """A streaming-update operation failed."""
+
+
+class StreamIngestError(StreamError):
+    """A two-phase batch application could not complete atomically.
+
+    ``applied`` reports the outcome the cluster converged to: ``False``
+    when the batch was aborted/rolled back everywhere (the graph is
+    unchanged), ``True`` never — a fully-applied batch does not raise.
+    A rollback that itself failed permanently leaves ``applied=None``
+    (shards may disagree) and is a deployment-level incident.
+    """
+
+    def __init__(self, message: str, *, applied: bool | None = False) -> None:
+        super().__init__(message)
+        self.applied = applied

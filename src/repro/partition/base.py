@@ -48,6 +48,28 @@ class PartitionResult:
         """Whether every part received at least one node."""
         return bool(np.all(self.part_sizes() > 0))
 
+    def with_moves(self, moves: dict[int, int]) -> "PartitionResult":
+        """A new result with the given ``{global id: new part}`` applied.
+
+        Validation re-runs in full, so an out-of-range destination or a
+        move that empties a part is rejected before any shard rebuild
+        starts.  Used by the telemetry-driven rebalancer
+        (:mod:`repro.stream.rebalance`).
+        """
+        if not moves:
+            return self
+        assignment = self.assignment.copy()
+        for gid, part in sorted(moves.items()):
+            if not 0 <= gid < len(assignment):
+                raise PartitionError(
+                    f"move of node {gid} outside graph of "
+                    f"{len(assignment)} nodes")
+            assignment[gid] = part
+        out = PartitionResult(assignment, self.n_parts)
+        if not out.nonempty():
+            raise PartitionError("moves would leave an empty part")
+        return out
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"PartitionResult(n_nodes={self.n_nodes}, n_parts={self.n_parts}, "

@@ -216,3 +216,29 @@ class MultiSSPPR:
                                  node_keys % self.n_shards)
         out[gids] = values
         return out
+
+    def residuals_for(self, qid: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(node_keys, residual)`` of one query's nonzero residuals."""
+        if not 0 <= qid < self.n_queries:
+            raise ValueError(f"qid {qid} out of range [0, {self.n_queries})")
+        n = len(self.map)
+        keys = self.map.keys()
+        mine = keys % self.n_queries == qid
+        res = self.residual[:n][mine]
+        nz = res != 0
+        return (keys[mine][nz] // self.n_queries), res[nz]
+
+    def dense_residual_for(self, qid: int, sharded,
+                           n_nodes: int) -> np.ndarray:
+        """One query's residual as a dense |V| vector.
+
+        The residual is the other half of the forward-push invariant;
+        the streaming layer seeds incremental maintenance
+        (:mod:`repro.ppr.incremental`) from the exact ``(p, r)`` pair.
+        """
+        node_keys, values = self.residuals_for(qid)
+        out = np.zeros(n_nodes)
+        gids = sharded.global_of(node_keys // self.n_shards,
+                                 node_keys % self.n_shards)
+        out[gids] = values
+        return out

@@ -475,6 +475,9 @@ class Session:
         # one FetchCache per machine, shared by its computing processes —
         # that sharing is what makes cross-request coalescing fire
         fetch_caches: dict[int, FetchCache] = {}
+        # per-machine remote-row demand, mutated under the FetchCache lock;
+        # the stream rebalancer reads it off the result between epochs
+        heat_maps: dict[int, dict[int, int]] = {}
 
         def wrap_fetch(g, machine, name):
             if not (g.compress and (fetch_split or fetch_cache_bytes > 0)):
@@ -487,6 +490,7 @@ class Session:
             return NeighborFetchService(
                 g, fc, split=fetch_split, coalesce=fetch_coalesce,
                 metrics=cluster.obs.metrics, proc=_late_proc(cluster, name),
+                heat=heat_maps.setdefault(machine, {}),
             )
 
         states: dict[int, object] = {}
@@ -578,6 +582,7 @@ class Session:
             abandoned_mass=fault_stats["abandoned_mass"],
             metrics=obs.metrics.snapshot(),
             obs=obs,
+            heat=heat_maps,
             race_violations=race_violations,
         )
 
@@ -625,6 +630,7 @@ class Session:
         fetch_coalesce = (cfg.fetch_coalesce if request.fetch_coalesce is None
                           else request.fetch_coalesce)
         fetch_caches: dict[int, FetchCache] = {}
+        heat_maps: dict[int, dict[int, int]] = {}
 
         def wrap_fetch(g, machine):
             if not (g.compress and (fetch_split or fetch_cache_bytes > 0)):
@@ -637,6 +643,7 @@ class Session:
             return NeighborFetchService(
                 g, fc, split=fetch_split, coalesce=fetch_coalesce,
                 metrics=runtime.obs.metrics,
+                heat=heat_maps.setdefault(machine, {}),
             )
 
         states: dict[int, object] = {}
@@ -716,6 +723,7 @@ class Session:
             abandoned_mass=fault_stats["abandoned_mass"],
             metrics=obs.metrics.snapshot(),
             obs=obs,
+            heat=heat_maps,
             race_violations=race_violations,
         )
 

@@ -242,13 +242,17 @@ class NeighborFetchService:
     """
 
     def __init__(self, storage, cache: FetchCache, *, split: bool = True,
-                 coalesce: bool = True, metrics=None, proc=None) -> None:
+                 coalesce: bool = True, metrics=None, proc=None,
+                 heat=None) -> None:
         self._g = storage
         self._cache = cache
         self._split = bool(split)
         self._coalesce = bool(coalesce)
         self._metrics = metrics
         self._proc = proc
+        #: packed owner key -> remote-request count; the rebalancer reads
+        #: this between epochs to find hot boundary vertices
+        self._heat = heat
 
     # -- delegated surface ----------------------------------------------
     @property
@@ -316,6 +320,11 @@ class NeighborFetchService:
             cache.record_access(write=True)
             cache.tick += 1
             tick = cache.tick
+            if self._heat is not None:
+                heat = self._heat
+                for i in range(n):
+                    key = int(keys[i])
+                    heat[key] = heat.get(key, 0) + 1
             use_rows = cache.capacity > 0
             for i in range(n):
                 key = int(keys[i])

@@ -15,6 +15,15 @@ plus ``core_wdeg``, the core nodes' own weighted degrees.  Neighbors owned
 by other shards are the shard's *halo nodes*; only their addressing and
 degree metadata is cached — their adjacency stays with their owner
 (Figure 3: "shards only store the data about core nodes").
+
+Shards are immutable under queries, but support *staged* mutation for
+the streaming path: :meth:`~GraphShard.stage_updates` precomputes
+replacement arrays off to the side (invisible to readers),
+:meth:`~GraphShard.commit_updates` swaps them in atomically while
+retaining the pre-image, and :meth:`~GraphShard.rollback_updates` /
+:meth:`~GraphShard.abort_updates` undo a commit / discard a stage — the
+building blocks of the two-phase batch protocol in
+:mod:`repro.stream.ingest`.
 """
 
 from __future__ import annotations
@@ -25,12 +34,13 @@ import numpy as np
 
 from repro.errors import ShardError
 from repro.storage.neighbor_batch import NeighborBatch, NeighborLists
+from repro.storage.shard_update import ShardUpdate
 from repro.storage.vertex_prop import VertexProp
 from repro.utils.rng import rng_from_seed
 
 
 class GraphShard:
-    """Immutable storage for one graph partition (plus halo metadata)."""
+    """Storage for one graph partition (plus halo metadata)."""
 
     def __init__(self, shard_id: int, n_shards: int, core_global: np.ndarray,
                  indptr: np.ndarray, nbr_local: np.ndarray,
@@ -71,6 +81,11 @@ class GraphShard:
         self._cache_indptr: np.ndarray | None = None
         self._cache_arrays: tuple | None = None
         self._cache_src_wdeg: np.ndarray | None = None
+        # Streaming two-phase state: staged replacement arrays per tag
+        # (invisible until commit) and the pre-image of the last commit
+        # (kept until the next commit so a failed round can roll back).
+        self._staged: dict[int, dict] = {}
+        self._preimage: dict[int, dict] = {}
 
     # -- validation ---------------------------------------------------------
     @property
@@ -269,6 +284,264 @@ class GraphShard:
         local, shard, glob, w, wdeg = self._cache_arrays
         return NeighborBatch(indptr, local[idx], shard[idx], glob[idx],
                              w[idx], wdeg[idx], self._cache_src_wdeg[pos])
+
+    # -- streaming: staged batch application ---------------------------------
+    # Two-phase protocol (repro.stream.ingest): the driver stages one
+    # update batch on every shard, then commits everywhere; any failure
+    # aborts the stage (nothing was visible) or rolls back the commit
+    # (pre-image restore), so a batch is all-or-nothing across the
+    # cluster.  All three mutators are idempotent under RPC retries.
+
+    def stage_updates(self, tag: int, update: ShardUpdate) -> int:
+        """Precompute replacement arrays for one batch; nothing visible yet.
+
+        Returns the number of core rows the stage would replace.  A tag
+        that already committed is a no-op (a retried stage after a lost
+        reply must not re-apply on top of the new arrays).
+        """
+        tag = int(tag)
+        if tag in self._preimage:
+            return int(len(self._staged.get(tag, {}).get("row_lids", ())))
+        lids = self._check_ids(update.row_lids)
+
+        # Core degrees from the broadcast (changed vertices only).
+        core_wdeg = self.core_wdeg.copy()
+        if self.n_core and len(update.deg_gids):
+            pos = np.searchsorted(self.core_global, update.deg_gids)
+            pos_c = np.minimum(pos, self.n_core - 1)
+            sel = self.core_global[pos_c] == update.deg_gids
+            core_wdeg[pos_c[sel]] = update.deg_wdeg[sel]
+
+        # Splice replacement rows over the old flat arrays.
+        old_counts = np.diff(self.indptr)
+        new_counts = old_counts.copy()
+        new_counts[lids] = np.diff(update.row_indptr)
+        indptr = np.zeros(self.n_core + 1, dtype=np.int64)
+        np.cumsum(new_counts, out=indptr[1:])
+        total = int(indptr[-1])
+        arrays = {
+            "nbr_local": np.empty(total, dtype=np.int64),
+            "nbr_shard": np.empty(total, dtype=np.int64),
+            "nbr_global": np.empty(total, dtype=np.int64),
+            "nbr_weight": np.empty(total, dtype=np.float64),
+            "nbr_wdeg": np.empty(total, dtype=np.float64),
+        }
+        changed = np.zeros(self.n_core, dtype=bool)
+        changed[lids] = True
+        entry_row = np.repeat(np.arange(self.n_core), old_counts)
+        keep = ~changed[entry_row]
+        dst = (indptr[entry_row[keep]]
+               + (np.arange(self.n_entries) - self.indptr[entry_row])[keep])
+        for name, src in (("nbr_local", self.nbr_local),
+                          ("nbr_shard", self.nbr_shard),
+                          ("nbr_global", self.nbr_global),
+                          ("nbr_weight", self.nbr_weight),
+                          ("nbr_wdeg", self.nbr_wdeg)):
+            arrays[name][dst] = src[keep]
+        row_counts = np.diff(update.row_indptr)
+        row_total = int(update.row_indptr[-1]) if len(lids) else 0
+        dst2 = (np.repeat(indptr[lids] - update.row_indptr[:-1], row_counts)
+                + np.arange(row_total))
+        arrays["nbr_local"][dst2] = update.row_local
+        arrays["nbr_shard"][dst2] = update.row_shard
+        arrays["nbr_global"][dst2] = update.row_global
+        arrays["nbr_weight"][dst2] = update.row_weight
+        arrays["nbr_wdeg"][dst2] = update.row_wdeg
+
+        # Degree broadcast over every entry referencing a changed vertex.
+        self._patch_degrees(arrays["nbr_global"], arrays["nbr_wdeg"],
+                            update.deg_gids, update.deg_wdeg)
+
+        staged = {"row_lids": lids, "indptr": indptr,
+                  "core_wdeg": core_wdeg, **arrays}
+        staged.update(self._stage_cache_refresh(update))
+        self._staged[tag] = staged
+        return int(len(lids))
+
+    @staticmethod
+    def _patch_degrees(gids: np.ndarray, wdeg: np.ndarray,
+                       deg_gids: np.ndarray, deg_wdeg: np.ndarray) -> None:
+        """Overwrite ``wdeg`` entries whose ``gids`` are in the broadcast."""
+        if not len(gids) or not len(deg_gids):
+            return
+        pos = np.searchsorted(deg_gids, gids)
+        pos_c = np.minimum(pos, len(deg_gids) - 1)
+        sel = deg_gids[pos_c] == gids
+        wdeg[sel] = deg_wdeg[pos_c[sel]]
+
+    def _stage_cache_refresh(self, update: ShardUpdate) -> dict:
+        """New halo-cache arrays with changed vertices' rows replaced.
+
+        Cached content must always equal the owner's current row; rows
+        this shard never cached stay uncached (coverage of *new* halo
+        vertices is rebalancing's job, not ingestion's).
+        """
+        if self._cache_keys is None:
+            return {}
+        keys = self._cache_keys
+        old_counts = np.diff(self._cache_indptr)
+        refresh = np.zeros(len(keys), dtype=bool)
+        src_pos = np.zeros(len(keys), dtype=np.int64)
+        if len(keys) and len(update.halo_keys):
+            pos = np.searchsorted(update.halo_keys, keys)
+            pos_c = np.minimum(pos, len(update.halo_keys) - 1)
+            refresh = update.halo_keys[pos_c] == keys
+            src_pos = pos_c
+        new_counts = old_counts.copy()
+        halo_counts = np.diff(update.halo_indptr)
+        new_counts[refresh] = halo_counts[src_pos[refresh]]
+        indptr = np.zeros(len(keys) + 1, dtype=np.int64)
+        np.cumsum(new_counts, out=indptr[1:])
+        total = int(indptr[-1])
+        old_local, old_shard, old_glob, old_w, old_wdeg = self._cache_arrays
+        out = {name: np.empty(total, dtype=dt) for name, dt in (
+            ("c_local", np.int64), ("c_shard", np.int64),
+            ("c_global", np.int64), ("c_weight", np.float64),
+            ("c_wdeg", np.float64))}
+        # Kept rows: gather from the old arrays at their new offsets.
+        kept = ~refresh
+        n_old = int(self._cache_indptr[-1])
+        entry_key = np.repeat(np.arange(len(keys)), old_counts)
+        keep_entries = kept[entry_key]
+        dst = (indptr[entry_key[keep_entries]]
+               + (np.arange(n_old)
+                  - self._cache_indptr[entry_key])[keep_entries])
+        for name, src in (("c_local", old_local), ("c_shard", old_shard),
+                          ("c_global", old_glob), ("c_weight", old_w),
+                          ("c_wdeg", old_wdeg)):
+            out[name][dst] = src[keep_entries]
+        # Refreshed rows: gather from the update's halo rows.
+        ref_idx = np.flatnonzero(refresh)
+        srcs = src_pos[ref_idx]
+        cnt = halo_counts[srcs]
+        n_ref = int(np.sum(cnt))
+        within = (np.arange(n_ref)
+                  - np.repeat(np.cumsum(cnt) - cnt, cnt))
+        dst2 = np.repeat(indptr[ref_idx], cnt) + within
+        src2 = np.repeat(update.halo_indptr[srcs], cnt) + within
+        for name, src in (("c_local", update.halo_local),
+                          ("c_shard", update.halo_shard),
+                          ("c_global", update.halo_global),
+                          ("c_weight", update.halo_weight),
+                          ("c_wdeg", update.halo_wdeg)):
+            out[name][dst2] = src[src2]
+        self._patch_degrees(out["c_global"], out["c_wdeg"],
+                            update.deg_gids, update.deg_wdeg)
+        src_wdeg = self._cache_src_wdeg.copy()
+        src_wdeg[ref_idx] = update.halo_src_wdeg[srcs]
+        return {"c_indptr": indptr, "c_src_wdeg": src_wdeg, **out}
+
+    def commit_updates(self, tag: int) -> int:
+        """Swap staged arrays in, retaining the pre-image for rollback."""
+        tag = int(tag)
+        if tag in self._preimage:
+            return 1  # retried commit after a lost reply: already applied
+        staged = self._staged.pop(tag, None)
+        if staged is None:
+            raise ShardError(f"shard {self.shard_id}: commit of unknown "
+                             f"tag {tag}")
+        pre = {
+            "indptr": self.indptr, "nbr_local": self.nbr_local,
+            "nbr_shard": self.nbr_shard, "nbr_global": self.nbr_global,
+            "nbr_weight": self.nbr_weight, "nbr_wdeg": self.nbr_wdeg,
+            "core_wdeg": self.core_wdeg, "c_keys": self._cache_keys,
+            "c_indptr": self._cache_indptr, "c_arrays": self._cache_arrays,
+            "c_src_wdeg": self._cache_src_wdeg,
+        }
+        self.indptr = staged["indptr"]
+        self.nbr_local = staged["nbr_local"]
+        self.nbr_shard = staged["nbr_shard"]
+        self.nbr_global = staged["nbr_global"]
+        self.nbr_weight = staged["nbr_weight"]
+        self.nbr_wdeg = staged["nbr_wdeg"]
+        self.core_wdeg = staged["core_wdeg"]
+        if "c_indptr" in staged:
+            self._cache_indptr = staged["c_indptr"]
+            self._cache_arrays = (staged["c_local"], staged["c_shard"],
+                                  staged["c_global"], staged["c_weight"],
+                                  staged["c_wdeg"])
+            self._cache_src_wdeg = staged["c_src_wdeg"]
+        self._preimage = {tag: pre}  # older pre-images are now unreachable
+        return 1
+
+    def rollback_updates(self, tag: int) -> int:
+        """Undo a commit (pre-image restore) or discard a stage.
+
+        Idempotent: rolling back a tag that never staged/committed here
+        is a no-op, so the driver can broadcast rollbacks safely.
+        """
+        tag = int(tag)
+        pre = self._preimage.pop(tag, None)
+        if pre is not None:
+            self.indptr = pre["indptr"]
+            self.nbr_local = pre["nbr_local"]
+            self.nbr_shard = pre["nbr_shard"]
+            self.nbr_global = pre["nbr_global"]
+            self.nbr_weight = pre["nbr_weight"]
+            self.nbr_wdeg = pre["nbr_wdeg"]
+            self.core_wdeg = pre["core_wdeg"]
+            self._cache_keys = pre["c_keys"]
+            self._cache_indptr = pre["c_indptr"]
+            self._cache_arrays = pre["c_arrays"]
+            self._cache_src_wdeg = pre["c_src_wdeg"]
+        self._staged.pop(tag, None)
+        return 1
+
+    def abort_updates(self, tag: int) -> int:
+        """Discard a staged (never committed) batch.  Idempotent."""
+        self._staged.pop(int(tag), None)
+        return 1
+
+    def install_halo_rows(self, keys, src_wdeg, indptr, local, shard,
+                          glob, weight, wdeg) -> int:
+        """Merge replacement/replica rows into the halo cache.
+
+        ``keys`` are sorted packed owner addresses; rows for keys already
+        cached replace the old content, new keys extend coverage (the
+        replication path of telemetry-driven rebalancing).  Creates the
+        cache if the shard had none.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        src_wdeg = np.asarray(src_wdeg, dtype=np.float64)
+        indptr = np.asarray(indptr, dtype=np.int64)
+        if len(keys) and bool(np.any(np.diff(keys) <= 0)):
+            raise ShardError("install_halo_rows keys must be strictly "
+                             "increasing")
+        if indptr.shape != (len(keys) + 1,) or len(src_wdeg) != len(keys):
+            raise ShardError("install_halo_rows header mismatch")
+        new_arrays = (np.asarray(local, dtype=np.int64),
+                      np.asarray(shard, dtype=np.int64),
+                      np.asarray(glob, dtype=np.int64),
+                      np.asarray(weight, dtype=np.float64),
+                      np.asarray(wdeg, dtype=np.float64))
+        if self._cache_keys is None:
+            self.install_halo_cache(keys, indptr, new_arrays, src_wdeg)
+            return int(len(keys))
+        # Sorted merge: incoming rows win on key collision.
+        merged_keys = np.union1d(self._cache_keys, keys)
+        rows = []
+        for key in merged_keys:
+            pos = np.searchsorted(keys, key)
+            if pos < len(keys) and keys[pos] == key:
+                s, e = indptr[pos], indptr[pos + 1]
+                rows.append((tuple(a[s:e] for a in new_arrays),
+                             float(src_wdeg[pos])))
+            else:
+                pos = np.searchsorted(self._cache_keys, key)
+                s, e = self._cache_indptr[pos], self._cache_indptr[pos + 1]
+                rows.append((tuple(a[s:e] for a in self._cache_arrays),
+                             float(self._cache_src_wdeg[pos])))
+        counts = np.fromiter((len(r[0][0]) for r in rows), dtype=np.int64,
+                             count=len(rows))
+        m_indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum(counts, out=m_indptr[1:])
+        m_arrays = tuple(
+            np.concatenate([r[0][i] for r in rows]) if rows
+            else np.empty(0, dtype=a.dtype)
+            for i, a in enumerate(new_arrays))
+        m_src = np.array([r[1] for r in rows], dtype=np.float64)
+        self.install_halo_cache(merged_keys, m_indptr, m_arrays, m_src)
+        return int(len(keys))
 
     # -- diagnostics -----------------------------------------------------------
     def describe(self) -> dict:

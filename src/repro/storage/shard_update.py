@@ -1,0 +1,109 @@
+"""The staged-update payload one shard receives during stream ingestion.
+
+A :class:`ShardUpdate` carries everything shard ``p`` needs to apply one
+update batch without further communication:
+
+* **row replacements** — for every *core* vertex of ``p`` whose
+  adjacency changed, the complete new row (targets sorted by global id,
+  with owner addressing, weights, and the targets' new weighted
+  degrees), spliced wholesale over the old row.  Row replacement is
+  idempotent and order-insensitive, which keeps retried RPCs and
+  split/merged batches convergent.
+* **degree broadcast** — the new weighted degrees of *every* vertex the
+  batch changed, anywhere in the graph, so the shard can patch its
+  ``core_wdeg`` / ``nbr_wdeg`` / halo-cache degree columns (the 1-hop
+  degree halo stays coherent without a second RPC round).
+* **halo row refresh** — the same replacement rows keyed by packed owner
+  address, so shards holding a 2-hop halo cache can refresh the cached
+  adjacency of changed vertices in place (cached content always equals
+  the owner's current row; coverage of *new* halo vertices is left to
+  rebalancing/replication).
+
+Built by :func:`repro.stream.ingest.build_shard_payloads`; consumed by
+:meth:`repro.storage.shard.GraphShard.stage_updates`.  Implements
+``rpc_payload`` so the RPC cost model prices the ingest traffic like
+any other message.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShardError
+
+
+class ShardUpdate:
+    """One shard's view of one update batch (see module docstring)."""
+
+    __slots__ = (
+        "row_lids", "row_indptr", "row_local", "row_shard", "row_global",
+        "row_weight", "row_wdeg", "deg_gids", "deg_wdeg", "halo_keys",
+        "halo_src_wdeg", "halo_indptr", "halo_local", "halo_shard",
+        "halo_global", "halo_weight", "halo_wdeg",
+    )
+
+    def __init__(self, row_lids, row_indptr, row_local, row_shard,
+                 row_global, row_weight, row_wdeg, deg_gids, deg_wdeg,
+                 halo_keys, halo_src_wdeg, halo_indptr, halo_local,
+                 halo_shard, halo_global, halo_weight, halo_wdeg) -> None:
+        self.row_lids = np.ascontiguousarray(row_lids, dtype=np.int64)
+        self.row_indptr = np.ascontiguousarray(row_indptr, dtype=np.int64)
+        self.row_local = np.ascontiguousarray(row_local, dtype=np.int64)
+        self.row_shard = np.ascontiguousarray(row_shard, dtype=np.int64)
+        self.row_global = np.ascontiguousarray(row_global, dtype=np.int64)
+        self.row_weight = np.ascontiguousarray(row_weight, dtype=np.float64)
+        self.row_wdeg = np.ascontiguousarray(row_wdeg, dtype=np.float64)
+        self.deg_gids = np.ascontiguousarray(deg_gids, dtype=np.int64)
+        self.deg_wdeg = np.ascontiguousarray(deg_wdeg, dtype=np.float64)
+        self.halo_keys = np.ascontiguousarray(halo_keys, dtype=np.int64)
+        self.halo_src_wdeg = np.ascontiguousarray(halo_src_wdeg,
+                                                  dtype=np.float64)
+        self.halo_indptr = np.ascontiguousarray(halo_indptr, dtype=np.int64)
+        self.halo_local = np.ascontiguousarray(halo_local, dtype=np.int64)
+        self.halo_shard = np.ascontiguousarray(halo_shard, dtype=np.int64)
+        self.halo_global = np.ascontiguousarray(halo_global, dtype=np.int64)
+        self.halo_weight = np.ascontiguousarray(halo_weight,
+                                                dtype=np.float64)
+        self.halo_wdeg = np.ascontiguousarray(halo_wdeg, dtype=np.float64)
+        self._validate()
+
+    def _validate(self) -> None:
+        n_rows = self.row_lids.shape[0]
+        if self.row_indptr.shape != (n_rows + 1,) or \
+                (n_rows and self.row_indptr[0] != 0):
+            raise ShardError("row_indptr shape/start mismatch")
+        if n_rows and bool(np.any(np.diff(self.row_lids) <= 0)):
+            raise ShardError("row_lids must be strictly increasing")
+        total = int(self.row_indptr[-1]) if n_rows else 0
+        for name in ("row_local", "row_shard", "row_global", "row_weight",
+                     "row_wdeg"):
+            if getattr(self, name).shape[0] != total:
+                raise ShardError(f"{name} length != row_indptr[-1]")
+        if self.deg_wdeg.shape[0] != self.deg_gids.shape[0]:
+            raise ShardError("degree broadcast arrays must share length")
+        if self.deg_gids.shape[0] and \
+                bool(np.any(np.diff(self.deg_gids) <= 0)):
+            raise ShardError("deg_gids must be strictly increasing")
+        n_halo = self.halo_keys.shape[0]
+        if self.halo_indptr.shape != (n_halo + 1,) or \
+                self.halo_src_wdeg.shape[0] != n_halo:
+            raise ShardError("halo refresh header mismatch")
+        if n_halo and bool(np.any(np.diff(self.halo_keys) <= 0)):
+            raise ShardError("halo_keys must be strictly increasing")
+        h_total = int(self.halo_indptr[-1]) if n_halo else 0
+        for name in ("halo_local", "halo_shard", "halo_global",
+                     "halo_weight", "halo_wdeg"):
+            if getattr(self, name).shape[0] != h_total:
+                raise ShardError(f"{name} length != halo_indptr[-1]")
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.row_lids.shape[0])
+
+    @property
+    def n_changed(self) -> int:
+        return int(self.deg_gids.shape[0])
+
+    def rpc_payload(self) -> tuple[int, int]:
+        arrays = [getattr(self, name) for name in self.__slots__]
+        return sum(a.nbytes for a in arrays), len(arrays)

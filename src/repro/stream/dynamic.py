@@ -1,0 +1,191 @@
+"""Driver-side mutable mirror of the deployed graph.
+
+:class:`DynamicGraph` is the authoritative adjacency during streaming:
+update batches apply here first, then the resulting *row replacements*
+are shipped to the shards (:mod:`repro.stream.ingest`).  Two invariants
+make the metamorphic exactness guarantees of the incremental PPR layer
+possible:
+
+* ``row(u)`` is always returned sorted by neighbor id, and
+* ``wdeg(u)`` is recomputed on demand as the sum over that sorted row —
+  never maintained incrementally — so that restoring a row's content
+  (e.g. insert-then-delete of the same edge) restores its weighted
+  degree *bitwise*.
+
+The mirror stores undirected edges as two arcs, rejects self-loops, and
+``snapshot()`` produces a :class:`~repro.graph.csr.CSRGraph` equal to
+what ``CSRGraph.from_edges`` would build from the current edge set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+from repro.stream.updates import OP_DELETE, OP_UPSERT, UpdateBatch
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+_EMPTY_W = np.empty(0, dtype=np.float64)
+
+
+class AppliedDelta:
+    """Effect of one applied batch: changed vertices + arc-level counts.
+
+    ``undo`` records, in application order, ``(u, v, prev_weight)``
+    per effective edge change (``prev_weight is None`` for an insert),
+    so :meth:`DynamicGraph.revert` can restore the mirror bitwise when
+    the distributed application of the batch fails.
+    """
+
+    __slots__ = ("changed", "arcs_inserted", "arcs_deleted",
+                 "arcs_reweighted", "undo")
+
+    def __init__(self, changed: np.ndarray, arcs_inserted: int,
+                 arcs_deleted: int, arcs_reweighted: int,
+                 undo: list) -> None:
+        self.changed = changed  # sorted int64 vertex ids with changed rows
+        self.arcs_inserted = arcs_inserted
+        self.arcs_deleted = arcs_deleted
+        self.arcs_reweighted = arcs_reweighted
+        self.undo = undo
+
+    @property
+    def n_changed(self) -> int:
+        return int(self.changed.shape[0])
+
+    def __bool__(self) -> bool:
+        return self.n_changed > 0
+
+
+class DynamicGraph:
+    """Mutable undirected adjacency over a fixed node set."""
+
+    __slots__ = ("n_nodes", "_adj")
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes < 0:
+            raise GraphFormatError(f"n_nodes must be >= 0, got {n_nodes}")
+        self.n_nodes = int(n_nodes)
+        self._adj: list[dict[int, float]] = [{} for _ in range(n_nodes)]
+
+    @classmethod
+    def from_csr(cls, graph: CSRGraph) -> "DynamicGraph":
+        """Mirror a (symmetrized) CSR graph."""
+        dyn = cls(graph.n_nodes)
+        for u in range(graph.n_nodes):
+            nbrs = graph.neighbors(u)
+            wts = graph.neighbor_weights(u)
+            dyn._adj[u] = {int(v): float(w) for v, w in zip(nbrs, wts)}
+        return dyn
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def n_arcs(self) -> int:
+        return sum(len(row) for row in self._adj)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self._adj[u]
+
+    def degree(self, u: int) -> int:
+        return len(self._adj[u])
+
+    def row(self, u: int) -> tuple[np.ndarray, np.ndarray]:
+        """Neighbor ids (sorted ascending) and aligned weights of ``u``."""
+        adj = self._adj[u]
+        if not adj:
+            return _EMPTY_IDS, _EMPTY_W
+        gids = np.fromiter(sorted(adj), dtype=np.int64, count=len(adj))
+        wts = np.array([adj[int(g)] for g in gids], dtype=np.float64)
+        return gids, wts
+
+    def wdeg(self, u: int) -> float:
+        """Weighted degree, recomputed from the sorted row on demand.
+
+        Deliberately *not* maintained incrementally: the value is a pure
+        function of the row content, so restoring a row restores its
+        weighted degree bitwise — load-bearing for the metamorphic
+        exactness checks.
+        """
+        _, wts = self.row(u)
+        return float(np.sum(wts)) if wts.shape[0] else 0.0
+
+    # -- mutation ---------------------------------------------------------
+    def apply(self, batch: UpdateBatch) -> AppliedDelta:
+        """Apply a batch sequentially; report the effective delta.
+
+        No-ops (delete of an absent edge, upsert at the existing weight)
+        change nothing and mark nothing changed.
+        """
+        changed: set[int] = set()
+        undo: list[tuple[int, int, float | None]] = []
+        inserted = deleted = reweighted = 0
+        for i in range(len(batch)):
+            u = int(batch.src[i])
+            v = int(batch.dst[i])
+            if not (0 <= u < self.n_nodes and 0 <= v < self.n_nodes):
+                raise GraphFormatError(
+                    f"edge ({u}, {v}) outside fixed node set of "
+                    f"{self.n_nodes} (streams never add nodes)")
+            op = int(batch.op[i])
+            if op == OP_UPSERT:
+                w = float(batch.weight[i])
+                prev = self._adj[u].get(v)
+                if prev is not None and prev == w:
+                    continue
+                undo.append((u, v, prev))
+                self._adj[u][v] = w
+                self._adj[v][u] = w
+                if prev is None:
+                    inserted += 1
+                else:
+                    reweighted += 1
+                changed.add(u)
+                changed.add(v)
+            elif op == OP_DELETE:
+                prev = self._adj[u].get(v)
+                if prev is None:
+                    continue
+                undo.append((u, v, prev))
+                del self._adj[u][v]
+                del self._adj[v][u]
+                deleted += 1
+                changed.add(u)
+                changed.add(v)
+        out = np.fromiter(sorted(changed), dtype=np.int64,
+                          count=len(changed))
+        return AppliedDelta(out, inserted, deleted, reweighted, undo)
+
+    def revert(self, delta: AppliedDelta) -> None:
+        """Undo an applied batch, restoring every touched row bitwise.
+
+        Replays the delta's undo log in reverse: each edge returns to
+        its exact previous weight (or absence), so rows — and therefore
+        the on-demand weighted degrees — match their pre-batch values
+        bit for bit.  Used when the distributed two-phase application
+        of the batch aborts or rolls back.
+        """
+        for u, v, prev in reversed(delta.undo):
+            if prev is None:
+                self._adj[u].pop(v, None)
+                self._adj[v].pop(u, None)
+            else:
+                self._adj[u][v] = prev
+                self._adj[v][u] = prev
+
+    # -- export -----------------------------------------------------------
+    def snapshot(self) -> CSRGraph:
+        """Freeze the current adjacency as an immutable CSR graph."""
+        counts = np.fromiter((len(row) for row in self._adj),
+                             dtype=np.int64, count=self.n_nodes)
+        indptr = np.zeros(self.n_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        total = int(indptr[-1])
+        indices = np.empty(total, dtype=np.int64)
+        weights = np.empty(total, dtype=np.float64)
+        for u in range(self.n_nodes):
+            gids, wts = self.row(u)
+            s, e = indptr[u], indptr[u + 1]
+            indices[s:e] = gids
+            weights[s:e] = wts
+        return CSRGraph(self.n_nodes, indptr, indices, weights)

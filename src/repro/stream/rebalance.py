@@ -1,0 +1,250 @@
+"""Telemetry-driven shard rebalancing (``repro.stream.rebalance``).
+
+The fetch layer records per-machine *heat*: how often each remote row
+(packed owner key) was requested during a serving epoch
+(:class:`~repro.engine.engine.QueryRunResult.heat`).  Between epochs the
+planner turns that demand into deterministic decisions:
+
+* **migrate** — one requester dominates a hot vertex's traffic and is
+  not its owner: move the vertex to that shard.  The copy is executed
+  as normal RPC traffic (``get_neighbor_batch`` from the old owner,
+  ``install_halo_rows`` on the new one — both priced, retried, and
+  fault-injected like any other message), then the new assignment is
+  rebuilt deterministically with
+  :func:`~repro.storage.build.build_shards`.
+* **replicate** — demand is spread across requesters: push the row into
+  each requester's halo cache (``install_halo_rows``), so future
+  fetches are partial-halo hits instead of remote misses.
+
+Planning is pure and runs driver-side; only execution touches the
+network.  Identical heat maps yield identical decisions and identical
+RPC sequences on both runtimes, which the differential suite pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simt.events import Wait, WaitAll
+from repro.stream.ingest import _resolve_retry_policy
+
+
+@dataclass(frozen=True)
+class RebalanceDecision:
+    """One planned action on one hot boundary vertex."""
+
+    vertex: int               # global id
+    action: str               # "migrate" | "replicate"
+    src_shard: int            # current owner
+    dst_shards: tuple         # migrate: (new owner,); replicate: requesters
+    heat: int                 # remote-row requests observed this epoch
+
+
+@dataclass(frozen=True)
+class RebalancePolicy:
+    """Deterministic knobs of the planner (all thresholds inclusive)."""
+
+    top_k: int = 8            # max vertices acted on per epoch
+    min_heat: int = 4         # ignore vertices requested fewer times
+    migrate_frac: float = 0.6  # one requester >= this share -> migrate
+    max_migrations: int = 4   # cap on ownership changes per epoch
+
+
+@dataclass
+class RebalanceReport:
+    """Planned (and, after execution, performed) epoch rebalancing."""
+
+    decisions: list = field(default_factory=list)
+    moves: dict = field(default_factory=dict)   # gid -> new owner shard
+    n_migrated: int = 0
+    n_replicated: int = 0
+    bytes_copied: int = 0     # filled by execution
+    retries: int = 0          # filled by execution
+
+    def __bool__(self) -> bool:
+        return bool(self.decisions)
+
+
+def plan_rebalance(sharded, heat_maps, policy=None) -> RebalanceReport:
+    """Turn per-machine heat into a deterministic action plan.
+
+    ``heat_maps`` is ``machine -> {packed owner key -> request count}``
+    as gathered by :class:`~repro.storage.fetch.NeighborFetchService`.
+    Candidates are ranked by total demand (ties by global id), capped at
+    ``policy.top_k``; a vertex migrates when one requester holds at
+    least ``migrate_frac`` of its demand, otherwise its row is
+    replicated to every requester.  Migrations never empty a shard.
+    """
+    if policy is None:
+        policy = RebalancePolicy()
+    totals: dict[int, int] = {}
+    by: dict[int, dict[int, int]] = {}
+    for machine in sorted(heat_maps):
+        hmap = heat_maps[machine]
+        if not hmap:
+            continue
+        keys = np.fromiter(sorted(hmap), dtype=np.int64, count=len(hmap))
+        gids = sharded.globals_from_keys(keys)
+        for key, gid in zip(keys.tolist(), gids.tolist()):
+            count = int(hmap[key])
+            totals[gid] = totals.get(gid, 0) + count
+            acc = by.setdefault(gid, {})
+            acc[machine] = acc.get(machine, 0) + count
+
+    candidates = sorted(
+        (g for g, t in totals.items() if t >= policy.min_heat),
+        key=lambda g: (-totals[g], g))[:max(policy.top_k, 0)]
+
+    sizes = np.bincount(sharded.owner_shard,
+                        minlength=sharded.n_shards).tolist()
+    report = RebalanceReport()
+    for gid in candidates:
+        owner = int(sharded.owner_shard[gid])
+        requesters = {m: c for m, c in by[gid].items() if m != owner}
+        if not requesters:
+            continue
+        total = totals[gid]
+        top_m, top_c = min(requesters.items(),
+                           key=lambda mc: (-mc[1], mc[0]))
+        if (top_c >= policy.migrate_frac * total
+                and report.n_migrated < policy.max_migrations
+                and sizes[owner] > 1):
+            report.decisions.append(RebalanceDecision(
+                vertex=int(gid), action="migrate", src_shard=owner,
+                dst_shards=(top_m,), heat=total))
+            report.moves[int(gid)] = top_m
+            report.n_migrated += 1
+            sizes[owner] -= 1
+            sizes[top_m] += 1
+        else:
+            report.decisions.append(RebalanceDecision(
+                vertex=int(gid), action="replicate", src_shard=owner,
+                dst_shards=tuple(sorted(requesters)), heat=total))
+            report.n_replicated += 1
+    return report
+
+
+# -- execution --------------------------------------------------------------
+
+def _jobs_for(sharded, decisions):
+    """Resolve decisions against the *current* address book."""
+    jobs = []
+    for d in decisions:
+        lid = int(sharded.owner_local[d.vertex])
+        key = int(sharded.keys_of(
+            np.array([d.vertex], dtype=np.int64))[0])
+        jobs.append((d.vertex, d.src_shard, lid, key, d.dst_shards))
+    return jobs
+
+
+def rebalance_driver(rrefs, caller, jobs, metrics):
+    """Move/replicate rows as ordinary RPC traffic (coroutine body).
+
+    Per job: one ``get_neighbor_batch`` from the owner (the copy), then
+    one ``install_halo_rows`` per destination — so drops, retries,
+    spans and payload pricing all apply.
+    """
+    bytes_copied = 0
+    for _vertex, src, lid, key, dsts in jobs:
+        fut = rrefs[src].rpc_async(caller, "get_neighbor_batch",
+                                   np.array([lid], dtype=np.int64))
+        batch = yield Wait(fut)
+        bytes_copied += batch.rpc_payload()[0]
+        keys = np.array([key], dtype=np.int64)
+        futs = [rrefs[d].rpc_async(
+                    caller, "install_halo_rows", keys, batch.source_wdeg,
+                    batch.indptr, batch.local_ids, batch.shard_ids,
+                    batch.global_ids, batch.weights,
+                    batch.weighted_degrees)
+                for d in dsts]
+        counts = yield WaitAll(futs)
+        metrics.inc("rebalance.rows_installed",
+                    sum(int(c) for c in counts))
+    metrics.inc("rebalance.bytes_copied", bytes_copied)
+    return {"bytes_copied": bytes_copied}
+
+
+def rebalance_on_cluster(engine, jobs, *, fault_plan=None,
+                         retry_policy=None):
+    """One traffic round on a fresh virtual-time cluster."""
+    from repro.engine.cluster import SimCluster
+
+    cfg = engine.config
+    cluster = SimCluster(engine.sharded, cfg, fault_plan=fault_plan,
+                         retry_policy=_resolve_retry_policy(fault_plan,
+                                                            retry_policy))
+    name = cluster.spawn_compute(0, 0, rebalance_driver(
+        cluster.rrefs, cfg.worker_name(0, 0), jobs, cluster.obs.metrics))
+    cluster.run()
+    outcome = cluster.scheduler.result_of(name)
+    return outcome, cluster.obs.metrics, cluster.ctx.retries
+
+
+def rebalance_on_threads(engine, jobs, *, fault_plan=None,
+                         retry_policy=None):
+    """Same traffic round over :class:`ThreadRuntime`."""
+    from repro.rpc.thread_runtime import ThreadRuntime
+
+    cfg = engine.config
+    runtime = ThreadRuntime(
+        fault_plan=fault_plan,
+        retry_policy=_resolve_retry_policy(fault_plan, retry_policy))
+    rrefs = []
+    try:
+        for m in range(cfg.n_machines):
+            runtime.register_server(cfg.server_name(m), m)
+            rrefs.append(runtime.create_remote(
+                cfg.server_name(m), "storage",
+                lambda shard=engine.sharded.shards[m]: shard,
+            ))
+        name = cfg.worker_name(0, 0)
+        runtime.register_worker(name, 0)
+        runtime.spawn(name, rebalance_driver(rrefs, name, jobs,
+                                             runtime.obs.metrics))
+        runtime.join(timeout=180)
+        outcome = runtime.process_of(name).result
+    finally:
+        runtime.shutdown()
+    return outcome, runtime.obs.metrics, runtime.retries
+
+
+def execute_rebalance(engine, report: RebalanceReport, *, runtime="sim",
+                      fault_plan=None, retry_policy=None):
+    """Execute a plan against ``engine``; returns the rounds' metrics.
+
+    Two traffic rounds at most: the migration copies run first, then the
+    shards are rebuilt deterministically from ``engine.graph`` under the
+    moved assignment, then replications install rows against the *new*
+    address book.  Mutates ``engine.sharded`` in place and fills the
+    report's ``bytes_copied`` / ``retries``.
+    """
+    from repro.storage.build import build_shards
+
+    run = (rebalance_on_threads if runtime == "threads"
+           else rebalance_on_cluster)
+    migr = [d for d in report.decisions if d.action == "migrate"]
+    repl = [d for d in report.decisions if d.action == "replicate"]
+    metrics_list = []
+    if migr:
+        outcome, metrics, retries = run(
+            engine, _jobs_for(engine.sharded, migr),
+            fault_plan=fault_plan, retry_policy=retry_policy)
+        metrics.inc("rebalance.migrations", len(migr))
+        report.bytes_copied += int(outcome["bytes_copied"])
+        report.retries += int(retries)
+        metrics_list.append(metrics)
+        new_result = engine.sharded.result.with_moves(report.moves)
+        engine.sharded = build_shards(
+            engine.graph, new_result, seed=engine.config.seed,
+            halo_hops=engine.config.halo_hops)
+    if repl:
+        outcome, metrics, retries = run(
+            engine, _jobs_for(engine.sharded, repl),
+            fault_plan=fault_plan, retry_policy=retry_policy)
+        metrics.inc("rebalance.replications", len(repl))
+        report.bytes_copied += int(outcome["bytes_copied"])
+        report.retries += int(retries)
+        metrics_list.append(metrics)
+    return metrics_list

@@ -445,7 +445,7 @@ class TestEngineFaultTolerance:
 
     def test_engine_counters_replay_byte_identical(self, engine):
         req = RunRequest(n_queries=6,
-                         fault_plan=FaultPlan(seed=9, drop_prob=0.2),
+                         fault_plan=FaultPlan(seed=2, drop_prob=0.4),
                          retry_policy=RetryPolicy(max_attempts=8))
         a = engine.run(req)
         b = engine.run(req)
@@ -505,3 +505,118 @@ class TestEngineFaultTolerance:
         assert run.retries > 0
         assert run.degraded_queries == 0
         assert run.n_queries == 6
+
+
+class TestStreamIngestAtomicity:
+    """Chaos on the two-phase update path: batches apply atomically.
+
+    Whatever the network does — dropped stages, dropped commits, a
+    crashed storage server — an update batch either lands on *every*
+    shard and the driver mirror, or on none of them.
+    """
+
+    def _engine_and_payloads(self, seed=0):
+        from repro.stream import (DynamicGraph, TemporalEdgeStream,
+                                  build_shard_payloads)
+
+        graph = powerlaw_cluster(150, 5, mixing=0.25, seed=6)
+        engine = GraphEngine(graph, EngineConfig(n_machines=2, seed=0))
+        dyn = DynamicGraph.from_csr(graph)
+        delta = dyn.apply(
+            TemporalEdgeStream(graph, seed=seed, batch_size=12).next_batch())
+        payloads = build_shard_payloads(engine.sharded, dyn, delta.changed)
+        return engine, payloads
+
+    @staticmethod
+    def _shard_images(engine):
+        return [(s.indptr.copy(), s.nbr_global.copy(), s.nbr_weight.copy(),
+                 s.core_wdeg.copy()) for s in engine.sharded.shards]
+
+    @staticmethod
+    def _assert_unchanged(engine, images):
+        for shard, (indptr, gids, wts, wdeg) in zip(engine.sharded.shards,
+                                                    images):
+            np.testing.assert_array_equal(shard.indptr, indptr)
+            np.testing.assert_array_equal(shard.nbr_global, gids)
+            np.testing.assert_array_equal(shard.nbr_weight, wts)
+            np.testing.assert_array_equal(shard.core_wdeg, wdeg)
+
+    def test_total_drop_aborts_cleanly_sim(self):
+        from repro.stream import ingest_on_cluster
+
+        engine, payloads = self._engine_and_payloads()
+        images = self._shard_images(engine)
+        outcome, metrics, _ = ingest_on_cluster(
+            engine, payloads, 1,
+            fault_plan=FaultPlan(seed=3, drop_prob=1.0),
+            retry_policy=RetryPolicy(max_attempts=2, timeout=0.01))
+        assert outcome["status"] == "aborted"
+        self._assert_unchanged(engine, images)
+        assert metrics.counters().get("stream.batches_committed", 0) == 0
+
+    def test_total_drop_aborts_cleanly_threads(self):
+        from repro.stream import ingest_on_threads
+
+        engine, payloads = self._engine_and_payloads()
+        images = self._shard_images(engine)
+        outcome, _, _ = ingest_on_threads(
+            engine, payloads, 1,
+            fault_plan=FaultPlan(seed=3, drop_prob=1.0),
+            retry_policy=RetryPolicy(max_attempts=2, timeout=0.01))
+        assert outcome["status"] == "aborted"
+        self._assert_unchanged(engine, images)
+
+    def test_crashed_server_aborts_cleanly_sim(self):
+        from repro.stream import ingest_on_cluster
+
+        engine, payloads = self._engine_and_payloads()
+        images = self._shard_images(engine)
+        outcome, _, _ = ingest_on_cluster(
+            engine, payloads, 1,
+            fault_plan=FaultPlan(seed=4, crashes=(
+                CrashWindow(server="server:1", crash_at=0.0),
+            )),
+            retry_policy=RetryPolicy(max_attempts=2, timeout=0.01))
+        assert outcome["status"] == "aborted"
+        self._assert_unchanged(engine, images)
+
+    def test_moderate_drops_apply_after_retries(self):
+        from repro.stream import ingest_on_cluster, ingest_on_threads
+
+        for runner in (ingest_on_cluster, ingest_on_threads):
+            engine, payloads = self._engine_and_payloads()
+            outcome, metrics, retries = runner(
+                engine, payloads, 1,
+                fault_plan=FaultPlan(seed=2, drop_prob=0.4),
+                retry_policy=RetryPolicy(max_attempts=8, timeout=5.0))
+            assert outcome["status"] == "applied", runner.__name__
+            assert retries > 0
+            assert metrics.counters()["stream.batches_committed"] == 1
+
+    def test_session_reverts_mirror_on_failure(self):
+        """A failed batch leaves the driver-side mirror bitwise intact,
+        and a later healthy batch still goes through."""
+        from repro.errors import StreamIngestError
+        from repro.stream import (StreamConfig, StreamingSession,
+                                  TemporalEdgeStream)
+
+        graph = powerlaw_cluster(150, 5, mixing=0.25, seed=6)
+        engine = GraphEngine(graph, EngineConfig(n_machines=2, seed=0))
+        session = StreamingSession(engine, StreamConfig(runtime="sim"))
+        stream = TemporalEdgeStream(graph, seed=1, batch_size=12)
+
+        session.config.fault_plan = FaultPlan(seed=3, drop_prob=1.0)
+        session.config.retry_policy = RetryPolicy(max_attempts=2,
+                                                  timeout=0.01)
+        with pytest.raises(StreamIngestError):
+            session.ingest(stream.next_batch())
+        assert session.report.n_failed == 1
+        snap = session.dyn.snapshot()
+        np.testing.assert_array_equal(snap.indices, graph.indices)
+        np.testing.assert_array_equal(snap.weights, graph.weights)
+
+        session.config.fault_plan = None
+        session.config.retry_policy = None
+        report = session.ingest(stream.next_batch())
+        assert report.applied
+        assert session.report.n_applied == 1

@@ -252,3 +252,111 @@ class TestFetchLayerDifferential:
         assert runtime.sanitizer is not None
         assert runtime.sanitizer.accesses > 0
         assert list(runtime.sanitizer.report()) == []
+
+
+class TestStreamingDifferential:
+    """Same event stream (+ FaultPlan), both runtimes: same everything.
+
+    A full streaming session — publish, interleaved queries and update
+    batches, incremental refresh, an epoch rebalance — replayed on the
+    virtual-time scheduler and on real threads must agree on the
+    published ``(p, r)`` pairs bit-for-bit, on every ``stream.*`` /
+    ``rebalance.*`` counter, on the planned rebalance decisions, and on
+    the final serving clock.
+    """
+
+    PUBLISH = [3, 17, 42]
+    STREAM_COUNTERS = [
+        "stream.published", "stream.batches", "stream.queries",
+        "stream.arcs_inserted", "stream.arcs_deleted",
+        "stream.arcs_reweighted", "stream.batches_committed",
+        "stream.staged_rows", "stream.refreshes",
+        "stream.refresh_corrections", "stream.refresh_pushes",
+        "rebalance.epochs", "rebalance.migrations_planned",
+        "rebalance.replications_planned", "rebalance.rows_installed",
+        "rebalance.bytes_copied",
+    ]
+
+    def _run(self, runtime, *, fault_plan=None, retry_policy=None):
+        from repro.stream import (RebalancePolicy, StreamConfig,
+                                  StreamEvent, StreamingSession,
+                                  TemporalEdgeStream)
+
+        graph = powerlaw_cluster(200, 5, mixing=0.25, seed=19)
+        engine = GraphEngine(graph, EngineConfig(n_machines=3, seed=0,
+                                                 halo_hops=2))
+        session = StreamingSession(engine, StreamConfig(
+            runtime=runtime, params=PARAMS, refresh_every=1,
+            fault_plan=fault_plan, retry_policy=retry_policy,
+            rebalance=RebalancePolicy(top_k=6, min_heat=2),
+        ))
+        session.publish(self.PUBLISH)
+        stream = TemporalEdgeStream(graph, seed=23, batch_size=12)
+        events = []
+        for i, batch in enumerate(stream.batches(4)):
+            events.append(StreamEvent("query",
+                                      source=self.PUBLISH[i % 3]))
+            events.append(StreamEvent("update", batch=batch))
+        events.append(StreamEvent("rebalance"))
+        report = session.run_stream(events)
+        return session, report
+
+    def _assert_sessions_agree(self, sim, thr):
+        sim_sess, sim_report = sim
+        thr_sess, thr_report = thr
+        for gid in self.PUBLISH:
+            p_sim, r_sim = sim_sess.published(gid)
+            p_thr, r_thr = thr_sess.published(gid)
+            np.testing.assert_array_equal(p_sim, p_thr)
+            np.testing.assert_array_equal(r_sim, r_thr)
+        sim_c = sim_sess.metrics.counters()
+        thr_c = thr_sess.metrics.counters()
+        for key in self.STREAM_COUNTERS:
+            assert sim_c.get(key, 0) == thr_c.get(key, 0), key
+        sim_plans = [[(d.vertex, d.action, d.src_shard, d.dst_shards)
+                      for d in rep.decisions]
+                     for rep in sim_report.rebalance_reports]
+        thr_plans = [[(d.vertex, d.action, d.src_shard, d.dst_shards)
+                      for d in rep.decisions]
+                     for rep in thr_report.rebalance_reports]
+        assert sim_plans == thr_plans
+        assert sim_report.clock == thr_report.clock
+        assert sim_report.n_applied == thr_report.n_applied
+
+    def test_healthy_stream_bitwise_identical(self):
+        sim = self._run("sim")
+        thr = self._run("threads")
+        sim_report = sim[1]
+        assert sim_report.n_batches == 4
+        assert sim_report.n_applied == 4
+        assert sim_report.n_queries == 4
+        # the epoch actually rebalanced something
+        assert any(sim_report.rebalance_reports)
+        self._assert_sessions_agree(sim, thr)
+
+    def test_faulty_stream_bitwise_identical(self):
+        """Dropped-and-retried streaming traffic changes nothing but the
+        retry counters — and those agree across runtimes too."""
+        plan = FaultPlan(seed=31, drop_prob=0.1)
+        policy = RetryPolicy(max_attempts=8, timeout=5.0)
+        sim = self._run("sim", fault_plan=plan, retry_policy=policy)
+        thr = self._run("threads", fault_plan=plan, retry_policy=policy)
+        self._assert_sessions_agree(sim, thr)
+        # faults fired on both sides and the accounting matches
+        sim_c = sim[0].metrics.counters()
+        thr_c = thr[0].metrics.counters()
+        assert sim_c.get("rpc.dropped_messages", 0) > 0
+        for key in RPC_COUNTERS:
+            assert sim_c.get(key, 0) == thr_c.get(key, 0), key
+
+    def test_faulty_stream_equals_healthy_stream(self):
+        healthy = self._run("sim")
+        faulty = self._run("sim", fault_plan=FaultPlan(seed=37,
+                                                       drop_prob=0.15),
+                           retry_policy=RetryPolicy(max_attempts=8,
+                                                    timeout=5.0))
+        for gid in self.PUBLISH:
+            p_h, r_h = healthy[0].published(gid)
+            p_f, r_f = faulty[0].published(gid)
+            np.testing.assert_array_equal(p_h, p_f)
+            np.testing.assert_array_equal(r_h, r_f)

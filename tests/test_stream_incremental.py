@@ -1,0 +1,308 @@
+"""Differential equivalence suite for streaming graph updates.
+
+The headline guarantee of the streaming layer is pinned here from three
+angles:
+
+* **incremental == recompute** (property-based): after every applied
+  batch, the incrementally maintained ``(p, r)`` matches a from-scratch
+  Forward Push on the updated graph within the combined residual bound
+  — the same ``rmax``-style tolerance the paper publishes;
+* **metamorphic exactness**: insert-then-delete of the same edges
+  restores the published vector *bitwise*, and splitting/merging the
+  same stream yields bitwise-identical final vectors;
+* **splice == rebuild**: the two-phase distributed application leaves
+  every shard structurally identical to a fresh ``build_shards`` of the
+  updated graph (weighted-degree columns agree to float tolerance —
+  they are sums of the same terms in a different order).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import EngineConfig, GraphEngine
+from repro.errors import GraphFormatError, ShardError
+from repro.graph import powerlaw_cluster
+from repro.graph.csr import CSRGraph
+from repro.ppr import PPRParams
+from repro.ppr.forward_push_seq import forward_push_sequential
+from repro.ppr.incremental import (IncrementalState, accuracy_bound,
+                                   refresh)
+from repro.stream import (DynamicGraph, TemporalEdgeStream, UpdateBatch,
+                          build_shard_payloads, ingest_on_cluster)
+
+PARAMS = PPRParams(alpha=0.2, epsilon=1e-4)
+
+
+def small_graph(seed=0, n=40, m=160):
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, n, size=(m, 2))
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    w = rng.uniform(0.5, 1.5, size=len(edges))
+    return CSRGraph.from_edges(n, edges[:, 0], edges[:, 1], w)
+
+
+def touched_vertices(batch):
+    return np.unique(np.concatenate([batch.src, batch.dst]))
+
+
+def apply_tracked(state, dyn, batch):
+    """Capture pre-rows, then mutate — the session's ingestion order."""
+    state.capture_pre_rows(dyn, touched_vertices(batch))
+    return dyn.apply(batch)
+
+
+# -- update batches ---------------------------------------------------------
+
+class TestUpdateBatch:
+    def test_validation(self):
+        with pytest.raises(GraphFormatError):
+            UpdateBatch([0], [0], [1.0], [1])          # self-loop
+        with pytest.raises(GraphFormatError):
+            UpdateBatch([0], [1], [1.0], [2])          # bad op
+        with pytest.raises(GraphFormatError):
+            UpdateBatch([0], [1], [0.0], [1])          # nonpositive upsert
+        with pytest.raises(GraphFormatError):
+            UpdateBatch([0, 1], [1], [1.0], [1])       # ragged
+
+    def test_split_concat_roundtrip(self):
+        b = UpdateBatch([0, 1, 2], [1, 2, 3], [1.0, 2.0, 3.0], [1, 1, -1])
+        head, tail = b.split(2)
+        back = UpdateBatch.concat([head, tail])
+        assert np.array_equal(back.src, b.src)
+        assert np.array_equal(back.weight, b.weight)
+        assert np.array_equal(back.op, b.op)
+        assert b.n_upserts == 2 and b.n_deletes == 1
+
+    def test_inverse_of_inserts_targets_only_new_edges(self):
+        g = small_graph()
+        dyn = DynamicGraph.from_csr(g)
+        u, v = 0, 1
+        assert not dyn.has_edge(38, 39)
+        existing = next((int(x) for x in g.neighbors(0)), None)
+        assert existing is not None
+        b = UpdateBatch([38, 0], [39, existing], [1.0, 2.0], [1, 1])
+        inv = b.inverse_of_inserts(dyn)
+        # only the genuinely-new edge gets a delete; the reweight does not
+        assert len(inv) == 1
+        assert (int(inv.src[0]), int(inv.dst[0])) == (38, 39)
+
+
+# -- the dynamic mirror -----------------------------------------------------
+
+class TestDynamicGraph:
+    def test_snapshot_roundtrip_is_bitwise(self):
+        g = small_graph()
+        snap = DynamicGraph.from_csr(g).snapshot()
+        assert np.array_equal(snap.indptr, g.indptr)
+        assert np.array_equal(snap.indices, g.indices)
+        assert np.array_equal(snap.weights, g.weights)
+
+    def test_apply_then_revert_is_bitwise(self):
+        g = small_graph()
+        dyn = DynamicGraph.from_csr(g)
+        stream = TemporalEdgeStream(g, seed=7, batch_size=16)
+        deltas = [dyn.apply(b) for b in stream.batches(3)]
+        for delta in reversed(deltas):
+            dyn.revert(delta)
+        snap = dyn.snapshot()
+        assert np.array_equal(snap.indices, g.indices)
+        assert np.array_equal(snap.weights, g.weights)
+
+    def test_snapshot_matches_from_edges(self):
+        g = small_graph()
+        dyn = DynamicGraph.from_csr(g)
+        dyn.apply(UpdateBatch([0, 2], [5, 7], [1.25, 0.8], [1, 1]))
+        snap = dyn.snapshot()
+        srcs, dsts, wts = [], [], []
+        for u in range(snap.n_nodes):
+            gids, ws = dyn.row(u)
+            for v, w in zip(gids, ws):
+                if u < v:
+                    srcs.append(u), dsts.append(int(v)), wts.append(float(w))
+        rebuilt = CSRGraph.from_edges(snap.n_nodes, srcs, dsts, wts)
+        assert np.array_equal(snap.indptr, rebuilt.indptr)
+        assert np.array_equal(snap.indices, rebuilt.indices)
+        assert np.array_equal(snap.weights, rebuilt.weights)
+
+    def test_streams_never_add_nodes(self):
+        dyn = DynamicGraph.from_csr(small_graph())
+        with pytest.raises(GraphFormatError):
+            dyn.apply(UpdateBatch([0], [40], [1.0], [1]))
+
+
+class TestGenerator:
+    def test_same_seed_same_stream(self):
+        g = small_graph()
+        a = TemporalEdgeStream(g, seed=3, batch_size=16).batches(3)
+        b = TemporalEdgeStream(g, seed=3, batch_size=16).batches(3)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.src, y.src)
+            assert np.array_equal(x.dst, y.dst)
+            assert np.array_equal(x.weight, y.weight)
+            assert np.array_equal(x.op, y.op)
+
+    def test_deletes_target_live_edges(self):
+        g = small_graph()
+        dyn = DynamicGraph.from_csr(g)
+        stream = TemporalEdgeStream(g, seed=5, batch_size=32,
+                                    insert_frac=0.3)
+        for batch in stream.batches(4):
+            delta = dyn.apply(batch)
+            # every delete the generator emits names a then-live edge,
+            # so none is a no-op when replayed in order
+            assert delta.arcs_deleted == batch.n_deletes
+
+
+# -- incremental maintenance: the headline guarantee ------------------------
+
+class TestIncrementalEqualsRecompute:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_within_residual_bound_after_each_batch(self, seed):
+        g = small_graph(seed=seed % 997)
+        dyn = DynamicGraph.from_csr(g)
+        source = int(seed % g.n_nodes)
+        state = IncrementalState.from_scratch(g, source, PARAMS)
+        stream = TemporalEdgeStream(g, seed=seed, batch_size=12)
+        for batch in stream.batches(3):
+            apply_tracked(state, dyn, batch)
+            refresh(state, dyn)
+            snap = dyn.snapshot()
+            p_scratch, r_scratch, _ = forward_push_sequential(
+                snap, source, PARAMS)
+            # ||p_inc - p_scr||_1 <= ||r_inc||_1 + ||r_scr||_1, and both
+            # residuals obey the published eps * sum(wdeg) bound
+            bound = (float(np.abs(state.r).sum())
+                     + float(np.abs(r_scratch).sum()))
+            assert bound <= 2 * accuracy_bound(snap, PARAMS) + 1e-12
+            assert float(np.abs(state.p - p_scratch).sum()) <= bound + 1e-12
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_mass_conservation(self, seed):
+        g = small_graph(seed=seed % 991)
+        dyn = DynamicGraph.from_csr(g)
+        state = IncrementalState.from_scratch(g, 0, PARAMS)
+        stream = TemporalEdgeStream(g, seed=seed, batch_size=12)
+        for batch in stream.batches(3):
+            apply_tracked(state, dyn, batch)
+            refresh(state, dyn)
+        # corrections redistribute residual mass; p + r still sums to 1
+        # up to the corrections' own rounding
+        total = float(state.p.sum() + state.r.sum())
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+
+class TestMetamorphic:
+    def test_insert_then_delete_restores_bitwise(self):
+        g = small_graph(seed=1)
+        dyn = DynamicGraph.from_csr(g)
+        state = IncrementalState.from_scratch(g, 5, PARAMS)
+        p0, r0 = state.p.copy(), state.r.copy()
+        ins = UpdateBatch([1, 2, 8], [30, 31, 32], [1.25, 0.75, 1.1],
+                          [1, 1, 1])
+        inv = ins.inverse_of_inserts(dyn)   # against the pre-batch state
+        apply_tracked(state, dyn, ins)
+        apply_tracked(state, dyn, inv)
+        stats = refresh(state, dyn)
+        assert stats.n_pushes == 0          # nothing to re-push at all
+        assert np.array_equal(state.p, p0)
+        assert np.array_equal(state.r, r0)
+
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 47))
+    @settings(max_examples=10, deadline=None)
+    def test_split_and_merged_streams_agree_bitwise(self, seed, cut):
+        g = small_graph(seed=seed % 983)
+        batches = TemporalEdgeStream(g, seed=seed, batch_size=16).batches(3)
+        merged = UpdateBatch.concat(batches)
+        head, tail = merged.split(cut % (len(merged) + 1))
+
+        finals = []
+        for seq in (batches, [merged], [head, tail]):
+            dyn = DynamicGraph.from_csr(g)
+            state = IncrementalState.from_scratch(g, 3, PARAMS)
+            for b in seq:
+                apply_tracked(state, dyn, b)
+            refresh(state, dyn)
+            finals.append((state.p, state.r, dyn.snapshot()))
+        p0, r0, s0 = finals[0]
+        for p, r, s in finals[1:]:
+            assert np.array_equal(p, p0)
+            assert np.array_equal(r, r0)
+            assert np.array_equal(s.indices, s0.indices)
+            assert np.array_equal(s.weights, s0.weights)
+
+    def test_reverted_batch_contributes_nothing(self):
+        g = small_graph(seed=2)
+        dyn = DynamicGraph.from_csr(g)
+        state = IncrementalState.from_scratch(g, 7, PARAMS)
+        p0, r0 = state.p.copy(), state.r.copy()
+        batch = TemporalEdgeStream(g, seed=4, batch_size=12).next_batch()
+        delta = apply_tracked(state, dyn, batch)
+        dyn.revert(delta)                   # distributed application failed
+        stats = refresh(state, dyn)         # stale pre-rows are harmless
+        assert stats.n_pushes == 0
+        assert np.array_equal(state.p, p0)
+        assert np.array_equal(state.r, r0)
+
+
+# -- distributed application ------------------------------------------------
+
+class TestShardSplice:
+    @pytest.mark.parametrize("halo_hops", [1, 2])
+    def test_splice_equals_fresh_build(self, halo_hops):
+        from repro.storage.build import build_shards
+
+        g = powerlaw_cluster(120, 4, mixing=0.2, seed=8)
+        engine = GraphEngine(g, EngineConfig(n_machines=3, seed=0,
+                                             halo_hops=halo_hops))
+        dyn = DynamicGraph.from_csr(g)
+        stream = TemporalEdgeStream(g, seed=9, batch_size=16)
+        for tag in (1, 2):
+            delta = dyn.apply(stream.next_batch())
+            payloads = build_shard_payloads(engine.sharded, dyn,
+                                            delta.changed)
+            outcome, _, _ = ingest_on_cluster(engine, payloads, tag=tag)
+            assert outcome["status"] == "applied"
+        fresh = build_shards(dyn.snapshot(), engine.sharded.result,
+                             seed=0, halo_hops=halo_hops)
+        for spliced, rebuilt in zip(engine.sharded.shards, fresh.shards):
+            assert np.array_equal(spliced.indptr, rebuilt.indptr)
+            assert np.array_equal(spliced.nbr_global, rebuilt.nbr_global)
+            assert np.array_equal(spliced.nbr_local, rebuilt.nbr_local)
+            assert np.array_equal(spliced.nbr_shard, rebuilt.nbr_shard)
+            assert np.array_equal(spliced.nbr_weight, rebuilt.nbr_weight)
+            # wdeg columns: same sums, different summation order
+            assert np.allclose(spliced.core_wdeg, rebuilt.core_wdeg)
+            assert np.allclose(spliced.nbr_wdeg, rebuilt.nbr_wdeg)
+
+    def test_stage_commit_rollback_idempotent(self):
+        g = powerlaw_cluster(80, 4, mixing=0.2, seed=3)
+        engine = GraphEngine(g, EngineConfig(n_machines=2, seed=0))
+        dyn = DynamicGraph.from_csr(g)
+        delta = dyn.apply(
+            TemporalEdgeStream(g, seed=2, batch_size=8).next_batch())
+        payloads = build_shard_payloads(engine.sharded, dyn, delta.changed)
+        shard = engine.sharded.shards[0]
+        before = shard.nbr_weight.copy()
+
+        shard.stage_updates(7, payloads[0])
+        assert np.array_equal(shard.nbr_weight, before)  # invisible
+        shard.commit_updates(7)
+        after = shard.nbr_weight.copy()
+        # duplicate RPCs (lost replies) are absorbed, not re-applied
+        shard.stage_updates(7, payloads[0])
+        assert shard.commit_updates(7) == 1
+        assert np.array_equal(shard.nbr_weight, after)
+        # rollback restores the pre-image, idempotently
+        assert shard.rollback_updates(7) == 1
+        assert np.array_equal(shard.nbr_weight, before)
+        assert shard.rollback_updates(7) == 1
+
+    def test_commit_unknown_tag_raises(self):
+        g = powerlaw_cluster(60, 4, mixing=0.2, seed=3)
+        engine = GraphEngine(g, EngineConfig(n_machines=2, seed=0))
+        with pytest.raises(ShardError):
+            engine.sharded.shards[0].commit_updates(99)
