@@ -1,4 +1,4 @@
-"""The repo-specific rule registry (REP001–REP006).
+"""The repo-specific rule registry (REP001–REP007).
 
 Determinism rules (:mod:`repro.analysis.rules.determinism`):
 
@@ -16,6 +16,13 @@ Concurrency rules (:mod:`repro.analysis.rules.concurrency`):
 * **REP005** — blocking calls inside simt coroutines;
 * **REP006** — broad ``except`` clauses that can swallow injected faults
   in retry paths.
+
+Observability rules (:mod:`repro.analysis.rules.observability`):
+
+* **REP007** — metric-name literals passed to
+  ``MetricsRegistry.inc/set/observe`` outside the namespaces declared in
+  :mod:`repro.obs.metrics_catalog` (drift against
+  ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from repro.analysis.rules.determinism import (
     Rep002UnseededRandomness,
     Rep003UnorderedIteration,
 )
+from repro.analysis.rules.observability import Rep007MetricNamespace
 
 #: every registered rule, in ID order
 ALL_RULES = (
@@ -39,6 +47,7 @@ ALL_RULES = (
     Rep004UnsizeablePayload(),
     Rep005BlockingCall(),
     Rep006BroadExcept(),
+    Rep007MetricNamespace(),
 )
 
 ALL_RULE_IDS = tuple(rule.id for rule in ALL_RULES)
@@ -66,5 +75,6 @@ __all__ = [
     "Rep004UnsizeablePayload",
     "Rep005BlockingCall",
     "Rep006BroadExcept",
+    "Rep007MetricNamespace",
     "get_rules",
 ]

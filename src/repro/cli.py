@@ -21,7 +21,12 @@ Downstream-friendly entry points for the preprocessing / query pipeline:
 * ``chaos``      — a clean-vs-faulty run under an injected fault plan;
 * ``profile``    — run a traced batch and export metrics as a Chrome trace
   (``--format chrome``), machine-readable JSON (``stats``), or an aligned
-  text table (``table``);
+  text table (``table``); ``--stream-batches N`` folds the streaming
+  loop's ``stream.*``/``rebalance.*`` counters into the output;
+* ``doctor``     — trace analytics (``docs/observability.md``): causal
+  critical paths with per-bucket attribution, straggler and fetch-cache
+  verdicts, trace-incompleteness warnings; ``--diff`` compares two saved
+  diagnosis reports;
 * ``analyze``    — the determinism/concurrency lint gate
   (see ``docs/static-analysis.md``): run the ``repro.analysis`` AST rules
   over the source tree; non-zero exit naming each violation.
@@ -439,6 +444,28 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def _stream_profile_metrics(engine, params, args) -> dict:
+    """``stream.*``/``rebalance.*`` counters from a short streaming bout.
+
+    ``profile --stream-batches N`` appends these namespaces to the stats
+    surface so one JSON document covers the batch engine *and* the
+    streaming loop.
+    """
+    from repro.engine.query import sample_sources
+    from repro.stream import (StreamConfig, StreamEvent, StreamingSession,
+                              TemporalEdgeStream)
+
+    session = StreamingSession(engine, StreamConfig(params=params))
+    session.publish(sample_sources(engine.sharded, 2, seed=args.seed))
+    updates = TemporalEdgeStream(engine.graph, seed=args.seed, batch_size=8)
+    events = [StreamEvent(kind="update", batch=updates.next_batch())
+              for _ in range(args.stream_batches)]
+    events.append(StreamEvent(kind="rebalance"))
+    session.run_stream(events)
+    return {k: v for k, v in session.metrics.snapshot().items()
+            if k.startswith(("stream.", "rebalance."))}
+
+
 def cmd_profile(args) -> int:
     """Traced run; ``--format`` picks the export surface."""
     import json as _json
@@ -451,15 +478,18 @@ def cmd_profile(args) -> int:
         n_queries=args.queries, params=params, seed=args.seed,
         mode=args.mode, trace=True, trace_rpc=True,
     ))
+    metrics = dict(run.metrics)
+    if getattr(args, "stream_batches", 0):
+        metrics.update(_stream_profile_metrics(engine, params, args))
     if args.format == "stats":
         # machine-readable: the flat metrics snapshot plus phase seconds
-        print(_json.dumps({"metrics": run.metrics,
+        print(_json.dumps({"metrics": metrics,
                            "phases": run.phases,
                            "makespan_s": run.makespan,
                            "n_queries": run.n_queries}, indent=1))
         return 0
     if args.format == "table":
-        print(text_table(run.metrics, title="metrics"))
+        print(text_table(metrics, title="metrics"))
         print("phases: " + ", ".join(
             f"{k}={v * 1e3:.2f}ms" for k, v in run.phases.items()
         ))
@@ -476,10 +506,60 @@ def cmd_profile(args) -> int:
     print(f"{run.n_queries} queries traced: {n_spans} spans "
           f"({n_rpc} RPC client/server pairs) -> {path}")
     print(f"open in chrome://tracing or https://ui.perfetto.dev")
-    print(text_table(run.metrics, title="metrics"))
+    print(text_table(metrics, title="metrics"))
     print("phases: " + ", ".join(
         f"{k}={v * 1e3:.2f}ms" for k, v in run.phases.items()
     ))
+    return 0
+
+
+def cmd_doctor(args) -> int:
+    """Trace analytics: critical paths, stragglers, cache verdicts.
+
+    Three modes: run-and-diagnose (the default), ``--load`` a saved
+    diagnosis JSON, or ``--diff A B`` to name the critical-path buckets
+    that moved between two saved reports.
+    """
+    import json as _json
+
+    from repro.obs.analysis import (DiagnosisReport, diagnose, diff_reports,
+                                    render_diagnosis, render_doctor_diff)
+
+    if args.diff:
+        before = DiagnosisReport.from_json(Path(args.diff[0]).read_text())
+        after = DiagnosisReport.from_json(Path(args.diff[1]).read_text())
+        diff = diff_reports(before, after, top=args.top)
+        if args.json:
+            print(_json.dumps(diff, indent=1))
+        else:
+            print(render_doctor_diff(diff, top=args.top))
+        return 0
+
+    if args.load:
+        report = DiagnosisReport.from_json(Path(args.load).read_text())
+    else:
+        engine = _engine_from_args(args)
+        params = PPRParams(alpha=args.alpha, epsilon=args.epsilon)
+        fault_plan = None
+        retry_policy = None
+        if args.drop > 0:
+            fault_plan = FaultPlan(seed=args.fault_seed,
+                                   drop_prob=args.drop)
+            retry_policy = RetryPolicy(max_attempts=args.max_attempts,
+                                       timeout=args.timeout)
+        run = engine.run(RunRequest(
+            n_queries=args.queries, params=params, seed=args.seed,
+            trace=True, max_spans=args.max_spans, timeline=args.timeline,
+            fault_plan=fault_plan, retry_policy=retry_policy,
+        ))
+        report = diagnose(run)
+    if args.out:
+        Path(args.out).write_text(report.to_json())
+        print(f"diagnosis -> {args.out}")
+    if args.json:
+        print(report.to_json(indent=1))
+        return 0
+    print(render_diagnosis(report, top=args.top))
     return 0
 
 
@@ -812,7 +892,55 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("chrome", "stats", "table"),
                    help="chrome: trace file + tables; stats: metrics JSON "
                         "to stdout; table: metrics table only")
+    p.add_argument("--stream-batches", type=int, default=0,
+                   help="also run N streaming update batches and fold the "
+                        "stream.*/rebalance.* counters into the output "
+                        "(0 = off)")
     p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("doctor",
+                       help="trace analytics: critical paths, stragglers, "
+                            "cache verdicts (docs/observability.md)")
+    p.add_argument("graph", nargs="?", default="products",
+                   help="dataset name or graph .npz path (default products)")
+    p.add_argument("--scale", type=_scale_value, default=0.1,
+                   help="stand-in scale: a fraction or tiny/small/full")
+    p.add_argument("--shards", default=None,
+                   help="load a saved sharded graph instead")
+    p.add_argument("--machines", type=int, default=4)
+    p.add_argument("--procs", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-fetch", action="store_true",
+                   help="disable the adaptive fetch layer")
+    p.add_argument("--fetch-cache-bytes", type=int, default=None,
+                   help="hot-vertex cache budget per machine")
+    p.add_argument("--queries", type=int, default=8)
+    p.add_argument("--alpha", type=float, default=0.462)
+    p.add_argument("--epsilon", type=float, default=1e-6)
+    p.add_argument("--max-spans", type=int, default=None,
+                   help="span cap for the traced run (overflow flags the "
+                        "report as trace-incomplete)")
+    p.add_argument("--timeline", type=float, default=None,
+                   help="sample a telemetry timeline at this virtual-time "
+                        "interval (seconds)")
+    p.add_argument("--drop", type=float, default=0.0,
+                   help="chaos: per-message drop probability")
+    p.add_argument("--fault-seed", type=int, default=7)
+    p.add_argument("--max-attempts", type=int, default=6)
+    p.add_argument("--timeout", type=float, default=0.05,
+                   help="per-attempt RPC timeout, virtual seconds")
+    p.add_argument("--top", type=int, default=10,
+                   help="critical-path buckets to print")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full diagnosis as JSON")
+    p.add_argument("--out", default=None,
+                   help="also write the diagnosis JSON here (feeds --diff)")
+    p.add_argument("--load", default=None, metavar="REPORT.json",
+                   help="render a saved diagnosis instead of running")
+    p.add_argument("--diff", nargs=2, default=None,
+                   metavar=("BEFORE.json", "AFTER.json"),
+                   help="compare two saved diagnoses: name moved buckets")
+    p.set_defaults(fn=cmd_doctor)
 
     p = sub.add_parser("analyze",
                        help="determinism/concurrency lint over the tree")

@@ -94,6 +94,14 @@ class RunRequest:
         (docs/fetch-layer.md); the config's knobs when ``None``.
         ``fetch_split=False, fetch_cache_bytes=0`` reproduces the
         pre-fetch-layer wire behavior exactly (ablation off-switch).
+    timeline:
+        Sampling interval in virtual seconds for a
+        :class:`~repro.obs.analysis.Timeline` of selected counters and
+        gauges, returned on ``QueryRunResult.timeline``.  On the
+        virtual-time scheduler a grid of mid-run samples is taken every
+        ``timeline`` seconds; the thread runtime records the
+        deterministic edges (t=0 and the final counters).  ``None``
+        (the default) disables sampling.
     """
 
     n_queries: int | None = None
@@ -113,6 +121,7 @@ class RunRequest:
     fetch_split: bool | None = None
     fetch_cache_bytes: int | None = None
     fetch_coalesce: bool | None = None
+    timeline: float | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in RUN_MODES:
@@ -140,6 +149,10 @@ class RunRequest:
             raise ValueError(
                 f"fetch_cache_bytes must be >= 0, "
                 f"got {self.fetch_cache_bytes}"
+            )
+        if self.timeline is not None and self.timeline <= 0:
+            raise ValueError(
+                f"timeline interval must be > 0, got {self.timeline}"
             )
 
     def resolved_retry_policy(self) -> RetryPolicy | None:

@@ -16,9 +16,12 @@ runtime, because both increment this registry at the same logical points.
 :mod:`repro.obs.bench` builds on this layer: structured
 :class:`BenchReport` documents with embedded metrics snapshots, trajectory
 aggregation, baseline comparison and the ``repro.cli bench`` regression
-gate.  See ``docs/observability.md`` for the span-name / Figure 6 phase
-mapping and a ``repro.cli profile`` walkthrough; ``docs/benchmarking.md``
-for the bench observatory.
+gate.  :mod:`repro.obs.analysis` adds trace analytics on top: causal
+critical paths over the span DAG, deterministic telemetry
+:class:`Timeline` series, and the :func:`diagnose` reports behind
+``repro.cli doctor``.  See ``docs/observability.md`` for the span-name /
+Figure 6 phase mapping and a ``repro.cli profile`` walkthrough;
+``docs/benchmarking.md`` for the bench observatory.
 """
 
 from __future__ import annotations
@@ -34,6 +37,18 @@ from repro.obs.bench import (
     merge_reports,
     render_diff,
     validate_report,
+)
+from repro.obs.analysis import (
+    CriticalPath,
+    DiagnosisReport,
+    PathSegment,
+    Timeline,
+    TimelineSample,
+    TraceGraph,
+    diagnose,
+    diff_reports,
+    render_diagnosis,
+    render_doctor_diff,
 )
 from repro.obs.export import chrome_trace, flat_stats, text_table, write_chrome_trace
 from repro.obs.metrics import (
@@ -75,20 +90,30 @@ __all__ = [
     "DEFAULT_MAX_SPANS",
     "BenchReport",
     "Counter",
+    "CriticalPath",
+    "DiagnosisReport",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Obs",
+    "PathSegment",
     "Span",
     "SpanTracer",
+    "Timeline",
+    "TimelineSample",
+    "TraceGraph",
     "build_trajectory",
     "chrome_trace",
     "compare_trajectories",
+    "diagnose",
+    "diff_reports",
     "evaluate_expectations",
     "flat_stats",
     "lint_results",
     "merge_reports",
+    "render_diagnosis",
     "render_diff",
+    "render_doctor_diff",
     "text_table",
     "validate_report",
     "write_chrome_trace",

@@ -1,0 +1,64 @@
+"""``repro.obs.analysis`` — trace analytics over the observability layer.
+
+Three modules turn a finished run's raw telemetry into answers:
+
+* :mod:`~repro.obs.analysis.causal` — span DAG reconstruction and
+  per-query critical-path extraction with total-conserving
+  (machine, phase, span-name, fault-event) attribution;
+* :mod:`~repro.obs.analysis.timeline` — typed, deterministic
+  virtual-time series of selected counters and gauges
+  (``RunRequest(timeline=interval)``, session/stream boundary samples);
+* :mod:`~repro.obs.analysis.doctor` — ``diagnose(run)`` →
+  :class:`DiagnosisReport`, report diffing, and the rendering behind
+  ``python -m repro.cli doctor``.
+
+See the "Trace analytics & doctor" section of ``docs/observability.md``.
+"""
+
+from repro.obs.analysis.causal import (
+    PATH_PHASES,
+    CriticalPath,
+    PathSegment,
+    TraceGraph,
+    machine_of_process,
+)
+from repro.obs.analysis.doctor import (
+    DIAGNOSIS_SCHEMA,
+    DiagnosisReport,
+    diagnose,
+    diff_reports,
+    render_diagnosis,
+    render_doctor_diff,
+)
+from repro.obs.analysis.timeline import (
+    ENGINE_WATCH,
+    SESSION_WATCH,
+    STREAM_WATCH,
+    Timeline,
+    TimelineSample,
+    edge_samples,
+    install_sim_sampler,
+    sample_counters,
+)
+
+__all__ = [
+    "DIAGNOSIS_SCHEMA",
+    "ENGINE_WATCH",
+    "PATH_PHASES",
+    "SESSION_WATCH",
+    "STREAM_WATCH",
+    "CriticalPath",
+    "DiagnosisReport",
+    "PathSegment",
+    "Timeline",
+    "TimelineSample",
+    "TraceGraph",
+    "diagnose",
+    "diff_reports",
+    "edge_samples",
+    "install_sim_sampler",
+    "machine_of_process",
+    "render_diagnosis",
+    "render_doctor_diff",
+    "sample_counters",
+]

@@ -1,0 +1,164 @@
+"""Deterministic telemetry timelines.
+
+A :class:`Timeline` is a typed series of ``(virtual_time, values)``
+samples of selected counters and gauges.  Three samplers feed it:
+
+* **simulated engine runs** — a scheduler timer fires every
+  ``RunRequest(timeline=interval)`` virtual seconds and snapshots the
+  watch list mid-run (:func:`install_sim_sampler`); the timer re-arms
+  only while other events remain queued, so it can never keep the event
+  loop alive by itself;
+* **thread-mode engine runs** — real threads have no virtual timer, so
+  the series keeps the two deterministic edges: an all-zero sample at
+  ``t=0`` and a final sample at the run's makespan
+  (:func:`edge_samples`);
+* **serving / streaming sessions** — every drain or stream event
+  boundary samples on the deterministic serving clock, which advances
+  through cost models only.  Those series are *count-derived end to
+  end* and therefore replay bitwise-identically on both runtimes,
+  joining the cross-runtime differential contract
+  (``tests/test_runtime_differential.py``).
+
+Counter values come from :meth:`MetricsRegistry.counters` — the same
+comparison unit the differential tests use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: engine-run watch list: counters under the cross-runtime contract.
+ENGINE_WATCH = (
+    "rpc.calls", "rpc.calls_local", "rpc.calls_remote",
+    "rpc.request_bytes", "rpc.response_bytes",
+    "rpc.retries", "rpc.timeouts", "rpc.dropped_messages", "rpc.giveups",
+    "fetch.requests", "fetch.halo_hits", "fetch.misses",
+    "obs.spans_dropped",
+)
+
+#: serving-session watch list (sampled on the deterministic serving clock).
+SESSION_WATCH = (
+    "serve.submitted", "serve.admitted", "serve.rejected",
+    "serve.completed", "serve.slo_missed",
+    "serve.batches", "serve.batch_queries",
+)
+
+#: streaming-session watch list.
+STREAM_WATCH = (
+    "stream.published", "stream.batches", "stream.batches_committed",
+    "stream.staged_rows", "stream.queries", "stream.refreshes",
+    "stream.refresh_corrections", "stream.refresh_pushes",
+    "rebalance.epochs", "rebalance.migrations", "rebalance.replications",
+)
+
+
+@dataclass(frozen=True)
+class TimelineSample:
+    """One snapshot: virtual time plus ``{name: value}``."""
+
+    t: float
+    values: dict
+
+    def to_dict(self) -> dict:
+        return {"t": self.t, "values": dict(self.values)}
+
+
+@dataclass
+class Timeline:
+    """An append-only, time-ordered series of :class:`TimelineSample`."""
+
+    interval: float | None = None
+    samples: list = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def sample(self, t: float, values: dict) -> None:
+        if self.samples and t < self.samples[-1].t:
+            raise ValueError(
+                f"timeline samples must be time-ordered: "
+                f"{t} < {self.samples[-1].t}")
+        self.samples.append(TimelineSample(t=float(t), values=dict(values)))
+
+    def series(self, name: str) -> list:
+        """``[(t, value), ...]`` for one watched instrument."""
+        return [(s.t, s.values[name]) for s in self.samples
+                if name in s.values]
+
+    def names(self) -> tuple:
+        seen: dict = {}
+        for s in self.samples:
+            for name in s.values:
+                seen[name] = True
+        return tuple(sorted(seen))
+
+    def to_dict(self) -> dict:
+        return {"interval": self.interval,
+                "samples": [s.to_dict() for s in self.samples]}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Timeline":
+        tl = cls(interval=doc.get("interval"))
+        for s in doc.get("samples", ()):
+            tl.sample(s["t"], s["values"])
+        return tl
+
+    def counts_view(self) -> dict:
+        """First/last rows — the count-derived differential summary."""
+        if not self.samples:
+            return {"first": {}, "last": {}}
+        return {"first": dict(self.samples[0].values),
+                "last": dict(self.samples[-1].values)}
+
+
+def sample_counters(metrics, names) -> dict:
+    """Snapshot ``names`` out of a registry's counters (missing -> 0)."""
+    counters = metrics.counters()
+    return {name: counters.get(name, 0) for name in names}
+
+
+def install_sim_sampler(scheduler, metrics, timeline: Timeline,
+                        interval: float, gauges=None) -> None:
+    """Arm a virtual-time grid sampler on a :class:`Scheduler`.
+
+    Takes the ``t=0`` sample immediately, then snapshots every
+    ``interval`` virtual seconds while the run has other events queued.
+    The timer checks the event queue *after* firing and only then
+    re-arms, so an otherwise-finished run is never kept alive (and the
+    scheduler's deadlock detection stays meaningful).  Timer callbacks
+    only read counters — they cannot perturb the workload interleaving.
+    """
+    if interval <= 0:
+        raise ValueError(f"timeline interval must be > 0, got {interval}")
+
+    def snapshot() -> dict:
+        values = sample_counters(metrics, ENGINE_WATCH)
+        if gauges is not None:
+            values.update(gauges())
+        return values
+
+    timeline.sample(scheduler.now, snapshot())
+
+    def tick() -> None:
+        timeline.sample(scheduler.now, snapshot())
+        if scheduler._heap:
+            scheduler.call_at(scheduler.now + interval, tick)
+
+    scheduler.call_at(scheduler.now + interval, tick)
+
+
+def edge_samples(timeline: Timeline, metrics, makespan: float,
+                 gauges=None, *, zero_first: bool = True) -> None:
+    """Thread-mode fallback: sample the deterministic edges only.
+
+    Real threads have no virtual timer to hook, so the series carries an
+    all-zero ``t=0`` row plus the final counters at the run's makespan —
+    both fully determined by the workload, never by wall time.
+    """
+    if zero_first and not timeline.samples:
+        timeline.sample(0.0, {name: 0 for name in ENGINE_WATCH})
+    values = sample_counters(metrics, ENGINE_WATCH)
+    if gauges is not None:
+        values.update(gauges())
+    timeline.sample(max(makespan, timeline.samples[-1].t
+                        if timeline.samples else 0.0), values)

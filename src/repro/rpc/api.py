@@ -196,6 +196,7 @@ class RpcContext:
                 )
 
             fut.add_done_callback(record_client)
+            fut.span_id = client_id
         fut.add_done_callback(
             lambda f: metrics.observe("rpc.latency", f.ready_time - issued_at)
         )

@@ -148,6 +148,10 @@ class SessionConfig:
     retry_policy: RetryPolicy | None = None
     degradation: DegradationMode = DegradationMode.FAIL_FAST
     seed: int | None = None
+    #: sample a serving-clock Timeline (repro.obs.analysis) at session
+    #: open and after every drain; the series is count-derived end to
+    #: end, so it replays bitwise on both runtimes
+    timeline: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in RUN_MODES:
@@ -271,6 +275,28 @@ class Session:
         self.missed_total = 0
         self._seq = 0
         self._rejected_since_drain = 0
+        #: serving-clock Timeline when SessionConfig(timeline=True)
+        self.timeline = None
+        if self.config.timeline:
+            from repro.obs.analysis.timeline import Timeline
+
+            self.timeline = Timeline()
+            self._sample_timeline()
+
+    def _sample_timeline(self) -> None:
+        """Snapshot the serve.* watch list at the current serving clock.
+
+        Every value is count-derived (admission counters, cost-model
+        clock, queue depth), so the series is part of the cross-runtime
+        differential contract.
+        """
+        from repro.obs.analysis.timeline import SESSION_WATCH, \
+            sample_counters
+
+        values = sample_counters(self.metrics, SESSION_WATCH)
+        values["serve.clock"] = self.now
+        values["serve.queue_depth"] = self.admission.depth
+        self.timeline.sample(self.now, values)
 
     # -- clock --------------------------------------------------------------
     def advance_to(self, t: float) -> None:
@@ -403,6 +429,8 @@ class Session:
             m.inc("serve.batch_retries", n_retries)
         m.set("serve.clock", self.now)
         m.set("serve.queue_depth", self.admission.depth)
+        if self.timeline is not None:
+            self._sample_timeline()
 
         if result is None:
             result = QueryRunResult(
@@ -493,6 +521,24 @@ class Session:
                 heat=heat_maps.setdefault(machine, {}),
             )
 
+        run_timeline = None
+        if request.timeline is not None:
+            from repro.obs.analysis.timeline import Timeline, \
+                install_sim_sampler
+
+            def _cache_gauges() -> dict:
+                return {
+                    "fetch.cache_bytes": sum(
+                        fc.nbytes for fc in fetch_caches.values()),
+                    "fetch.cache_entries": sum(
+                        len(fc.rows) for fc in fetch_caches.values()),
+                }
+
+            run_timeline = Timeline(interval=request.timeline)
+            install_sim_sampler(cluster.scheduler, cluster.obs.metrics,
+                                run_timeline, request.timeline,
+                                gauges=_cache_gauges)
+
         states: dict[int, object] = {}
         latencies: dict[int, float] = {}
         fault_stats = {"degraded_queries": 0, "abandoned_mass": 0.0}
@@ -564,6 +610,11 @@ class Session:
             race_violations = list(sanitizer.report())
             obs.metrics.inc("sanitizer.accesses", sanitizer.accesses)
             obs.metrics.inc("sanitizer.violations", len(race_violations))
+        if run_timeline is not None:
+            from repro.obs.analysis.timeline import edge_samples
+
+            edge_samples(run_timeline, obs.metrics, makespan,
+                         gauges=_cache_gauges, zero_first=False)
         return QueryRunResult(
             n_queries=len(sources),
             makespan=makespan,
@@ -584,6 +635,7 @@ class Session:
             obs=obs,
             heat=heat_maps,
             race_violations=race_violations,
+            timeline=run_timeline,
         )
 
     def _execute_threads(self, request: RunRequest):
@@ -596,6 +648,7 @@ class Session:
         not apply; ``makespan`` reports accumulated charged seconds.
         """
         from repro.engine.engine import QueryRunResult
+        from repro.obs import DEFAULT_MAX_SPANS, Obs
         from repro.rpc.thread_runtime import ThreadRuntime
 
         engine = self.engine
@@ -609,8 +662,15 @@ class Session:
                                      seed=seed)
         opt = request.opt if request.opt is not None else cfg.opt
 
+        bundle = Obs.create(
+            trace=(cfg.trace_spans if request.trace is None
+                   else request.trace),
+            max_spans=(DEFAULT_MAX_SPANS if request.max_spans is None
+                       else request.max_spans),
+        )
         runtime = ThreadRuntime(fault_plan=request.fault_plan,
                                 retry_policy=request.resolved_retry_policy(),
+                                obs=bundle,
                                 sanitize=request.sanitize)
         rrefs = []
         for m in range(cfg.n_machines):
@@ -705,6 +765,23 @@ class Session:
         race_violations: list = []
         if runtime.sanitizer is not None:
             race_violations = list(runtime.sanitizer.report())
+        run_timeline = None
+        if request.timeline is not None:
+            from repro.obs.analysis.timeline import Timeline, edge_samples
+
+            def _cache_gauges() -> dict:
+                return {
+                    "fetch.cache_bytes": sum(
+                        fc.nbytes for fc in fetch_caches.values()),
+                    "fetch.cache_entries": sum(
+                        len(fc.rows) for fc in fetch_caches.values()),
+                }
+
+            # no mid-run grid on real threads (wall time is not virtual
+            # time); the deterministic edges still join the differential
+            run_timeline = Timeline(interval=request.timeline)
+            edge_samples(run_timeline, obs.metrics, makespan,
+                         gauges=_cache_gauges)
         return QueryRunResult(
             n_queries=len(sources),
             makespan=makespan,
@@ -725,6 +802,7 @@ class Session:
             obs=obs,
             heat=heat_maps,
             race_violations=race_violations,
+            timeline=run_timeline,
         )
 
     def _execute_walks(self, roots: np.ndarray,

@@ -18,7 +18,8 @@ from repro.errors import SimulationError
 class SimFuture:
     """A write-once container resolving at a known virtual time."""
 
-    __slots__ = ("_value", "_exception", "_ready_time", "_done", "_callbacks", "tag")
+    __slots__ = ("_value", "_exception", "_ready_time", "_done", "_callbacks",
+                 "tag", "span_id")
 
     def __init__(self, tag: str | None = None) -> None:
         self._value: Any = None
@@ -28,6 +29,9 @@ class SimFuture:
         self._callbacks: list[Callable[["SimFuture"], None]] = []
         #: optional label for tracing/debugging
         self.tag = tag
+        #: client span id of the RPC that produced this future (traced runs
+        #: only) — lets coalesced waiters link flows back to the origin call
+        self.span_id: int | None = None
 
     # -- state ----------------------------------------------------------
     @property

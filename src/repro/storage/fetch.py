@@ -392,6 +392,24 @@ class NeighborFetchService:
                                  hot=len(hot_pos), halo=len(halo_pos),
                                  miss=len(miss_pos)):
                 pass
+        if self._proc is not None and pend:
+            # Zero-duration marker per coalesced flight, linked (via the
+            # origin future's client span id) to the RPC this caller is
+            # piggybacking on — exporters draw the cross-process flow arrow
+            # from it instead of leaving the late requester dangling.
+            tracer = getattr(self._proc, "tracer", None)
+            if tracer is not None:
+                now = self._proc.clock
+                parent = tracer.current(self._proc.name)
+                for fut, positions, _rows in pend.values():
+                    origin = getattr(fut, "span_id", None)
+                    if origin is None:
+                        continue
+                    tracer.record(
+                        "fetch.coalesced", self._proc.name, now, now,
+                        parent_id=parent, kind="coalesce", link=origin,
+                        attrs={"shard": dest_shard, "rows": len(positions)},
+                    )
 
         # Pure hot hit: no wire, no waiting — resolve immediately.
         if len(hot_pos) == n:

@@ -1,0 +1,7 @@
+"""REP007 positive fixture: metric names outside the catalog."""
+from repro.obs import MetricsRegistry
+
+metrics = MetricsRegistry()
+metrics.inc("cache.hits")                     # undeclared namespace
+metrics.set("serv.queue_depth", 3)            # typo'd namespace
+metrics.observe(f"latency.{'p99'}", 0.25)     # f-string literal head

@@ -1,7 +1,7 @@
 """The determinism & concurrency sanitizer suite (``repro.analysis``).
 
-Three pillars, tested in order: the custom AST lint engine and its six
-REP001–REP006 rules (against per-rule positive/negative fixtures under
+Three pillars, tested in order: the custom AST lint engine and its
+REP001–REP007 rules (against per-rule positive/negative fixtures under
 ``tests/fixtures/analysis/`` and against the shipped tree, which must be
 clean — the tier-1 gate); the Eraser-style lockset race detector wired
 through ``ShardedMap`` / ``ThreadRuntime`` / ``RunRequest(sanitize=True)``;
@@ -54,6 +54,7 @@ FIXTURE_MAP = {
     "REP004": ("rpc/rep004_bad.py", "rpc/rep004_ok.py", 5),
     "REP005": ("simt/rep005_bad.py", "simt/rep005_ok.py", 3),
     "REP006": ("rpc/rep006_bad.py", "rpc/rep006_ok.py", 2),
+    "REP007": ("rep007_bad.py", "rep007_ok.py", 3),
 }
 
 
@@ -67,9 +68,9 @@ def lint_fixture(rel, rule_id):
 # ---------------------------------------------------------------------------
 
 class TestFramework:
-    def test_all_six_rules_registered(self):
-        assert ALL_RULE_IDS == ("REP001", "REP002", "REP003",
-                                "REP004", "REP005", "REP006")
+    def test_all_rules_registered(self):
+        assert ALL_RULE_IDS == ("REP001", "REP002", "REP003", "REP004",
+                                "REP005", "REP006", "REP007")
         assert all(r.title for r in ALL_RULES)
 
     def test_get_rules_unknown_id(self):
@@ -196,6 +197,37 @@ class TestRuleFixtures:
         out = lint_fixture("rpc/rep006_ok.py", "REP006")
         assert out == []
 
+    def test_rep007_names_the_bad_metric(self):
+        out = lint_fixture("rep007_bad.py", "REP007")
+        messages = " ".join(v.message for v in out)
+        assert "'cache.hits'" in messages
+        assert "'serv.queue_depth'" in messages
+        assert "metrics_catalog" in messages
+
+    def test_rep007_judges_fstring_literal_heads(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            "def f(m, tenant):\n"
+            "    m.inc(f'serve.tenant.{tenant}.admitted')\n"  # catalogued
+            "    m.inc(f'svc.{tenant}.admitted')\n"           # drifted
+            "    m.inc(f'{tenant}.admitted')\n"               # unjudgeable
+        )
+        out = run_lint([mod], rules=get_rules(["REP007"]))
+        assert [v.line for v in out] == [3]
+
+    def test_rep007_catalog_matches_documented_namespaces(self):
+        from repro.obs.metrics_catalog import METRIC_NAMESPACES, \
+            is_catalogued
+
+        doc = (REPO_ROOT / "docs" / "observability.md").read_text()
+        for namespace in METRIC_NAMESPACES:
+            assert f"{namespace}." in doc, (
+                f"namespace {namespace!r} is catalogued but never "
+                f"mentioned in docs/observability.md")
+        assert is_catalogued("rpc.calls")
+        assert is_catalogued("serve.tenant.")
+        assert not is_catalogued("cache.hits")
+
 
 # ---------------------------------------------------------------------------
 # the tree gate + CLI
@@ -241,7 +273,7 @@ class TestTreeGateAndCli:
             assert rule_id in out
 
     def test_cli_lints_whole_fixture_dir(self, capsys):
-        # all six rules fire somewhere under the fixture tree
+        # every registered rule fires somewhere under the fixture tree
         assert main(["analyze", str(FIXTURES)]) == 1
         out = capsys.readouterr().out
         for rule_id in ALL_RULE_IDS:

@@ -254,6 +254,52 @@ class TestFetchLayerDifferential:
         assert list(runtime.sanitizer.report()) == []
 
 
+class TestDoctorDifferential:
+    """``DiagnosisReport.differential_view()``: bitwise across runtimes.
+
+    The doctor's count-derived projection — fault counters, cache
+    counts, heat-based straggler attribution, query/path counts, the
+    final timeline sample — must replay identically on the virtual-time
+    scheduler and on :class:`ThreadRuntime` for the same seed and fault
+    plan.  Durations stay out of the view by design.
+    """
+
+    def _both(self, engine, request):
+        from repro.obs.analysis import diagnose
+        from repro.serving.session import Session, SessionConfig
+
+        sim = engine.run(request)
+        thr = Session(engine, SessionConfig(runtime="threads")).run(request)
+        return diagnose(sim), diagnose(thr)
+
+    def test_healthy_reports_agree(self, engine):
+        sources = sample_sources(engine.sharded, 8, seed=0)
+        sim, thr = self._both(engine, sim_request(
+            sources, trace=True, timeline=0.05))
+        assert sim.has_trace and thr.has_trace
+        assert sim.n_paths == len(sources)
+        view = sim.differential_view()
+        assert view == thr.differential_view()
+        # the timeline's last sample joined the contract
+        assert view["timeline_last"] is not None
+        assert view["timeline_last"]["rpc.calls"] > 0
+
+    def test_chaos_reports_agree(self, engine):
+        sources = sample_sources(engine.sharded, 8, seed=0)
+        sim, thr = self._both(engine, sim_request(
+            sources, trace=True, timeline=0.05,
+            fault_plan=FaultPlan(seed=13, drop_prob=0.15),
+            retry_policy=RetryPolicy(max_attempts=6, timeout=5.0)))
+        view = sim.differential_view()
+        assert view == thr.differential_view()
+        # faults actually fired and landed in the shared view
+        assert view["fault_counters"]["rpc.dropped_messages"] > 0
+        # both sides kept the books clean on the duration side too
+        assert sim.conservation_error <= 1e-9
+        assert thr.conservation_error <= 1e-9
+        assert sim.paths_within_makespan and thr.paths_within_makespan
+
+
 class TestStreamingDifferential:
     """Same event stream (+ FaultPlan), both runtimes: same everything.
 
@@ -277,7 +323,8 @@ class TestStreamingDifferential:
         "rebalance.bytes_copied",
     ]
 
-    def _run(self, runtime, *, fault_plan=None, retry_policy=None):
+    def _run(self, runtime, *, fault_plan=None, retry_policy=None,
+             timeline=False):
         from repro.stream import (RebalancePolicy, StreamConfig,
                                   StreamEvent, StreamingSession,
                                   TemporalEdgeStream)
@@ -289,6 +336,7 @@ class TestStreamingDifferential:
             runtime=runtime, params=PARAMS, refresh_every=1,
             fault_plan=fault_plan, retry_policy=retry_policy,
             rebalance=RebalancePolicy(top_k=6, min_heat=2),
+            timeline=timeline,
         ))
         session.publish(self.PUBLISH)
         stream = TemporalEdgeStream(graph, seed=23, batch_size=12)
@@ -348,6 +396,19 @@ class TestStreamingDifferential:
         assert sim_c.get("rpc.dropped_messages", 0) > 0
         for key in RPC_COUNTERS:
             assert sim_c.get(key, 0) == thr_c.get(key, 0), key
+
+    def test_stream_timeline_bitwise_identical(self):
+        """The streaming Timeline samples on the deterministic serving
+        clock with count-derived values only — the whole series, sample
+        times included, replays bitwise across runtimes."""
+        sim = self._run("sim", timeline=True)
+        thr = self._run("threads", timeline=True)
+        sim_tl, thr_tl = sim[0].timeline, thr[0].timeline
+        assert sim_tl is not None and len(sim_tl) > 1
+        assert sim_tl.to_dict() == thr_tl.to_dict()
+        # the series actually moved: the stream counters accumulated
+        published = [v for _, v in sim_tl.series("stream.batches")]
+        assert published[-1] > 0
 
     def test_faulty_stream_equals_healthy_stream(self):
         healthy = self._run("sim")
