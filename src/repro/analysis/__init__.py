@@ -13,7 +13,15 @@ scheduler deadlocks — at lint time and at runtime:
 * :mod:`repro.analysis.lint` — a small AST visitor framework with
   per-rule allowlists (``# repro: allow=REPnnn`` pragmas and the
   ``[tool.repro.analysis]`` table in ``pyproject.toml``); the repo-specific
-  rules live in :mod:`repro.analysis.rules` (REP001–REP006);
+  rules live in :mod:`repro.analysis.rules` (REP001–REP010);
+* :mod:`repro.analysis.callgraph` — the whole-program model (module
+  import graph, alias-aware call graph, lock-site index) behind the
+  interprocedural rules REP008–REP010 and the project-refined
+  REP004/REP006 verdicts; dump it with ``cli analyze --graph dot|json``;
+* :mod:`repro.analysis.baseline` — the ratchet baseline
+  (``analysis-baseline.json``): new findings fail, stale entries fail;
+* :mod:`repro.analysis.sarif` — SARIF 2.1.0 export
+  (``cli analyze --sarif``);
 * :mod:`repro.analysis.race` — an Eraser-style lockset race detector that
   instruments :class:`~repro.ppr.hashmap.ShardedMap` and
   :class:`~repro.rpc.thread_runtime.ThreadRuntime` shared state behind a
@@ -29,15 +37,25 @@ gated in tier-1 by ``tests/test_analysis.py``.  See
 
 from __future__ import annotations
 
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineResult,
+    load_baseline,
+    reconcile,
+    save_baseline,
+)
+from repro.analysis.callgraph import Project, build_project
 from repro.analysis.deadlock import DeadlockReport, diagnose
 from repro.analysis.lint import (
     AnalysisConfig,
     FileContext,
+    ProjectRule,
     Rule,
     Violation,
     load_config,
     run_lint,
 )
+from repro.analysis.sarif import to_sarif
 from repro.analysis.race import (
     RaceAccess,
     RaceDetector,
@@ -52,19 +70,28 @@ from repro.analysis.rules import ALL_RULES, get_rules
 __all__ = [
     "ALL_RULES",
     "AnalysisConfig",
+    "Baseline",
+    "BaselineResult",
     "DeadlockReport",
     "FileContext",
+    "Project",
+    "ProjectRule",
     "RaceAccess",
     "RaceDetector",
     "RaceViolation",
     "Rule",
     "TrackedLock",
     "Violation",
+    "build_project",
     "diagnose",
     "get_rules",
     "install",
     "installed",
+    "load_baseline",
     "load_config",
+    "reconcile",
     "run_lint",
+    "save_baseline",
+    "to_sarif",
     "uninstall",
 ]

@@ -1,0 +1,125 @@
+"""The ratchet baseline: known findings are frozen, the count only goes down.
+
+A baseline file (``analysis-baseline.json`` at the repo root, committed)
+records every currently-accepted violation as a multiset keyed by
+``(rule, path, message)`` — deliberately *not* by line number, so pure
+code motion above a finding does not churn the file.  Reconciling a lint
+run against the baseline splits the violations three ways:
+
+* **new** — findings with no (or not enough) baseline budget: these fail
+  the gate; fix them or (deliberately, reviewed) regenerate the baseline
+  with ``cli analyze --update-baseline``;
+* **stale** — baseline entries the tree no longer produces: these *also*
+  fail, forcing the baseline to ratchet down as debt is paid instead of
+  silently hoarding expired exemptions;
+* **suppressed** — findings covered by the baseline, reported but not
+  fatal.
+
+Stale detection is only sound when the whole default tree was analyzed;
+:func:`reconcile` takes ``check_stale=False`` under ``--changed-only`` or
+explicit path arguments, where absence proves nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.lint import Violation
+
+#: on-disk schema tag; bump on incompatible layout changes
+BASELINE_SCHEMA = "repro.analysis-baseline/v1"
+
+#: the multiset key: everything about a finding except its line/column
+Key = tuple[str, str, str]
+
+
+def _key(v: Violation) -> Key:
+    return (v.rule, v.path, v.message)
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """The accepted-findings multiset, as loaded from disk."""
+
+    entries: dict[Key, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.entries.values())
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """One reconciliation: what is new, what expired, what is covered."""
+
+    new: tuple[Violation, ...]
+    stale: tuple[Key, ...]          # (rule, path, message) with dead budget
+    suppressed: tuple[Violation, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.new and not self.stale
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    p = Path(path)
+    if not p.exists():
+        return Baseline()
+    data = json.loads(p.read_text())
+    if data.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{p}: expected schema {BASELINE_SCHEMA!r}, "
+            f"got {data.get('schema')!r}"
+        )
+    entries: dict[Key, int] = {}
+    for row in data.get("findings", []):
+        key = (row["rule"], row["path"], row["message"])
+        count = int(row.get("count", 1))
+        if count < 1:
+            raise ValueError(f"{p}: non-positive count for {key}")
+        entries[key] = entries.get(key, 0) + count
+    return Baseline(entries=entries)
+
+
+def save_baseline(path: str | Path,
+                  violations: Iterable[Violation]) -> Baseline:
+    """Freeze ``violations`` as the new baseline file (sorted, stable)."""
+    counts = Counter(_key(v) for v in violations)
+    findings = [
+        {"rule": rule, "path": rel, "message": message, "count": n}
+        for (rule, rel, message), n in sorted(counts.items())
+    ]
+    payload = {"schema": BASELINE_SCHEMA, "findings": findings}
+    Path(path).write_text(json.dumps(payload, indent=1) + "\n")
+    return Baseline(entries=dict(counts))
+
+
+def reconcile(baseline: Baseline, violations: Sequence[Violation], *,
+              check_stale: bool = True) -> BaselineResult:
+    """Split ``violations`` against the baseline multiset.
+
+    When a key's found count exceeds its budget the *last* occurrences in
+    line order are the new ones — deterministic, and the earliest sites
+    (most likely the originally-baselined ones) stay suppressed.
+    """
+    by_key: dict[Key, list[Violation]] = {}
+    for v in sorted(violations):
+        by_key.setdefault(_key(v), []).append(v)
+    new: list[Violation] = []
+    suppressed: list[Violation] = []
+    for key, found in sorted(by_key.items()):
+        budget = baseline.entries.get(key, 0)
+        suppressed.extend(found[:budget])
+        new.extend(found[budget:])
+    stale: list[Key] = []
+    if check_stale:
+        for key in sorted(baseline.entries):
+            if len(by_key.get(key, ())) < baseline.entries[key]:
+                stale.append(key)
+    return BaselineResult(new=tuple(sorted(new)), stale=tuple(stale),
+                          suppressed=tuple(sorted(suppressed)))

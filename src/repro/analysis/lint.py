@@ -165,6 +165,14 @@ class Rule:
     title: str = ""
     #: directory names this rule is scoped to; empty = the whole tree
     scope_dirs: tuple[str, ...] = ()
+    #: set True on per-file rules that refine their verdicts through the
+    #: whole-program model; :func:`run_lint` then builds a
+    #: :class:`~repro.analysis.callgraph.Project` and assigns it to
+    #: ``self.project`` before checking (None when linting a single file
+    #: through :func:`lint_file` — rules must degrade gracefully)
+    wants_project: bool = False
+    #: the current whole-program model, managed by :func:`run_lint`
+    project = None
 
     def applies_to(self, ctx: FileContext) -> bool:
         if not self.scope_dirs:
@@ -178,6 +186,24 @@ class Rule:
                   message: str) -> Violation:
         return Violation(path=ctx.relpath, line=node.lineno,
                          col=node.col_offset, rule=self.id, message=message)
+
+
+class ProjectRule(Rule):
+    """A whole-program rule: checked once against the assembled project.
+
+    ``check_project`` yields violations anywhere in the linted tree;
+    :func:`run_lint` applies the same scope/pragma/config filters a
+    per-file rule gets, resolved against the file each violation lands
+    in.  The per-file ``check`` hook is a no-op.
+    """
+
+    wants_project = True
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        return iter(())
+
+    def check_project(self, project) -> Iterator[Violation]:
+        raise NotImplementedError
 
 
 @dataclass(frozen=True)
@@ -229,8 +255,14 @@ def lint_file(path: Path, rules: Iterable[Rule], *,
               config: AnalysisConfig | None = None,
               root: Path | None = None) -> list[Violation]:
     """Run ``rules`` over one file, applying both allowlist layers."""
-    config = config if config is not None else AnalysisConfig()
     ctx = FileContext.parse(path, root=root)
+    return lint_ctx(ctx, rules, config=config)
+
+
+def lint_ctx(ctx: FileContext, rules: Iterable[Rule], *,
+             config: AnalysisConfig | None = None) -> list[Violation]:
+    """Run per-file ``rules`` over one parsed context."""
+    config = config if config is not None else AnalysisConfig()
     out: list[Violation] = []
     for rule in rules:
         if not rule.applies_to(ctx):
@@ -247,12 +279,68 @@ def lint_file(path: Path, rules: Iterable[Rule], *,
 def run_lint(paths: Iterable[str | Path], *,
              rules: Iterable[Rule] | None = None,
              config: AnalysisConfig | None = None,
-             root: Path | None = None) -> list[Violation]:
-    """Lint every .py file under ``paths``; returns sorted violations."""
+             root: Path | None = None,
+             only: Iterable[str] | None = None,
+             project=None) -> list[Violation]:
+    """Lint every .py file under ``paths``; returns sorted violations.
+
+    When any rule ``wants_project`` (the interprocedural REP008–REP010,
+    plus the project-refined REP004/REP006), the whole-program model is
+    built once over ``paths`` and shared: per-file rules read it through
+    ``self.project``, :class:`ProjectRule` subclasses are checked against
+    it directly, with scope/pragma/config filters resolved per violation.
+
+    ``only`` restricts the *reported* violations to the given repo-relative
+    paths without shrinking the analyzed program — ``--changed-only``
+    keeps whole-program precision (orphan handlers, lock cycles spanning
+    unchanged files stay visible to the analysis, just unreported).
+    ``project`` lets a caller that already built the model pass it in.
+    """
     from repro.analysis.rules import ALL_RULES
 
     rules = list(ALL_RULES if rules is None else rules)
+    config = config if config is not None else AnalysisConfig()
+    if project is None and any(r.wants_project for r in rules):
+        from repro.analysis.callgraph import build_project
+
+        project = build_project(paths, root=root)
+    for rule in rules:
+        rule.project = project  # always (re)set: no stale cross-run state
     out: list[Violation] = []
+    contexts: dict[str, FileContext] = {}
+    by_path = {} if project is None else {
+        ctx.path: ctx for ctx in project.modules.values()
+    }
     for path in iter_python_files(paths):
-        out.extend(lint_file(path, rules, config=config, root=root))
+        if project is not None:
+            # reuse the project's parsed contexts (and skip files the
+            # project skipped as unparsable)
+            ctx = by_path.get(path)
+            if ctx is None:
+                continue
+        else:
+            try:
+                ctx = FileContext.parse(path, root=root)
+            except SyntaxError:
+                continue
+        if ctx.relpath in contexts:
+            continue
+        contexts[ctx.relpath] = ctx
+        out.extend(lint_ctx(ctx, rules, config=config))
+    for rule in rules:
+        if not isinstance(rule, ProjectRule) or project is None:
+            continue
+        for v in rule.check_project(project):
+            ctx = contexts.get(v.path) or project.ctx_for(v.path)
+            if ctx is not None:
+                if not rule.applies_to(ctx):
+                    continue
+                if ctx.allowed_by_pragma(v.rule, v.line):
+                    continue
+            if config.allows(v.rule, v.path):
+                continue
+            out.append(v)
+    if only is not None:
+        allowed_paths = set(only)
+        out = [v for v in out if v.path in allowed_paths]
     return sorted(out)

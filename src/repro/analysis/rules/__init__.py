@@ -23,6 +23,16 @@ Observability rules (:mod:`repro.analysis.rules.observability`):
   ``MetricsRegistry.inc/set/observe`` outside the namespaces declared in
   :mod:`repro.obs.metrics_catalog` (drift against
   ``docs/observability.md``).
+
+Whole-program rules (:mod:`repro.analysis.rules.interprocedural`),
+checked against the :mod:`repro.analysis.callgraph` project model:
+
+* **REP008** — lock-acquisition-order cycles across the call graph
+  (static deadlock complement of ``analysis/deadlock.py``);
+* **REP009** — module-level / class-variable containers mutated with no
+  lock held on any call path (static complement of ``analysis/race.py``);
+* **REP010** — RPC dispatch literals must bind a registered
+  ``@rpc_handler`` with compatible arity; orphan handlers are flagged.
 """
 
 from __future__ import annotations
@@ -37,6 +47,11 @@ from repro.analysis.rules.determinism import (
     Rep002UnseededRandomness,
     Rep003UnorderedIteration,
 )
+from repro.analysis.rules.interprocedural import (
+    Rep008LockOrder,
+    Rep009SharedMutableEscape,
+    Rep010RpcContract,
+)
 from repro.analysis.rules.observability import Rep007MetricNamespace
 
 #: every registered rule, in ID order
@@ -48,6 +63,9 @@ ALL_RULES = (
     Rep005BlockingCall(),
     Rep006BroadExcept(),
     Rep007MetricNamespace(),
+    Rep008LockOrder(),
+    Rep009SharedMutableEscape(),
+    Rep010RpcContract(),
 )
 
 ALL_RULE_IDS = tuple(rule.id for rule in ALL_RULES)
@@ -76,5 +94,8 @@ __all__ = [
     "Rep005BlockingCall",
     "Rep006BroadExcept",
     "Rep007MetricNamespace",
+    "Rep008LockOrder",
+    "Rep009SharedMutableEscape",
+    "Rep010RpcContract",
     "get_rules",
 ]

@@ -54,10 +54,17 @@ class Rep004UnsizeablePayload(Rule):
     targets, or declared global/nonlocal are left unjudged, and a value
     produced by ``.rpc_payload()`` is accepted as sizeable by
     construction.
+
+    With the whole-program model available, the dataflow follows one
+    call-graph hop: an argument (or single-assignment value) that is a
+    call into a project function whose *every* return expression is
+    statically unsizeable is flagged too — ``ref.rpc_async("m",
+    make_handler())`` where ``make_handler`` returns a lambda.
     """
 
     id = "REP004"
     title = "statically unsizeable RPC payload"
+    wants_project = True
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         for scope in self._scopes(ctx.tree):
@@ -72,6 +79,8 @@ class Rep004UnsizeablePayload(Rule):
                     if isinstance(arg, ast.Starred):
                         arg = arg.value
                     hit = self._check_arg(arg, env)
+                    if hit is None:
+                        hit = self._check_call_returns(ctx, arg, env)
                     if hit is not None:
                         yield self.violation(
                             ctx, arg,
@@ -80,6 +89,53 @@ class Rep004UnsizeablePayload(Rule):
                             "send arrays/scalars/containers or a type "
                             "implementing rpc_payload()",
                         )
+
+    def _check_call_returns(self, ctx: FileContext, arg: ast.expr,
+                            env: dict[str, ast.expr]) -> str | None:
+        """One call-graph hop: judge the returns of a called project fn.
+
+        Flags only when every return expression of the callee is judged
+        unsizeable — a single sizeable (or unjudgeable) return path
+        clears the argument, keeping the check conservative.
+        """
+        project = self.project
+        if project is None:
+            return None
+        call = arg
+        via = ""
+        if isinstance(arg, ast.Name):
+            value = env.get(arg.id)
+            if value is not None and isinstance(value, ast.Call):
+                call = value
+                via = f" via local {arg.id!r}"
+        if not isinstance(call, ast.Call):
+            return None
+        site = None
+        for fq, fn in project.functions.items():
+            if fn.relpath != ctx.relpath:
+                continue
+            for c in fn.calls:
+                if (c.node.lineno, c.node.col_offset) == \
+                        (call.lineno, call.col_offset):
+                    site = c
+                    break
+            if site is not None:
+                break
+        if site is None or site.callee is None:
+            return None
+        callee = project.functions.get(site.callee)
+        if callee is None:
+            return None
+        returns = [n.value for n in _own_nodes(callee.node)
+                   if isinstance(n, ast.Return) and n.value is not None]
+        if not returns:
+            return None
+        hits = [self._judge(r) for r in returns]
+        if all(h is not None for h in hits):
+            short = site.callee.split(":")[-1]
+            return (f"{hits[0]} (returned by {short}(){via}; every return "
+                    "path is unsizeable)")
+        return None
 
     @staticmethod
     def _scopes(tree: ast.Module) -> Iterator[ast.AST]:
@@ -255,6 +311,16 @@ class Rep005BlockingCall(Rule):
         return None
 
 
+#: bare-name calls that cannot raise injected fault types
+_SAFE_BUILTINS = frozenset({
+    "int", "float", "str", "bool", "bytes", "len", "repr", "format",
+    "sorted", "list", "dict", "set", "tuple", "frozenset", "min", "max",
+    "sum", "abs", "round", "isinstance", "issubclass", "getattr",
+    "hasattr", "setattr", "enumerate", "zip", "range", "print", "id",
+    "hash", "iter", "next", "type", "vars", "divmod",
+})
+
+
 class Rep006BroadExcept(Rule):
     """Broad ``except`` clauses that can swallow injected faults.
 
@@ -265,29 +331,112 @@ class Rep006BroadExcept(Rule):
     rpc/engine/ppr/simt path that does not re-raise eats those faults and
     turns a chaos test into a silent wrong answer.  Catch the specific
     error types, or re-raise (a ``raise`` anywhere in the handler counts).
+
+    With the whole-program model available (``run_lint``), exception flow
+    is traced through the call graph: the broad except is only a
+    violation when its ``try`` body can actually *see* an injected fault
+    — it dispatches RPC, yields (simt effects deliver faults by throwing
+    at the yield point), raises one itself, calls a project function
+    whose transitive callees can, or calls something unresolvable (a
+    dynamic callable may wrap any of the above).  Faults originate only
+    inside this codebase, so resolvable external calls (``np.argsort``,
+    ``dict.get``) are provably safe and no longer flagged.
     """
 
     id = "REP006"
     title = "broad except can swallow injected faults"
     scope_dirs = ("rpc", "simt", "engine", "ppr")
+    wants_project = True
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.ExceptHandler):
+            if not isinstance(node, ast.Try):
                 continue
-            if not self._is_broad(node.type):
+            for handler in node.handlers:
+                if not self._is_broad(handler.type):
+                    continue
+                if any(isinstance(n, ast.Raise) for child in handler.body
+                       for n in ast.walk(child)):
+                    continue
+                if not self._try_sees_fault(ctx, node):
+                    continue
+                caught = "bare except" if handler.type is None else \
+                    f"except {ast.unparse(handler.type)}"
+                yield self.violation(
+                    ctx, handler,
+                    f"{caught} without re-raise can swallow injected "
+                    "RpcTimeoutError/WorkerCrashedError — catch the typed "
+                    "fault errors or re-raise",
+                )
+
+    def _try_sees_fault(self, ctx: FileContext, try_node: ast.Try) -> bool:
+        """Whether the guarded body can deliver an injected fault.
+
+        Without a project model every body is conservatively
+        fault-capable (the pre-interprocedural behavior).
+        """
+        project = self.project
+        if project is None or ctx.relpath not in project.module_of_relpath:
+            return True
+        from repro.analysis.callgraph import (
+            RPC_CONTEXT_ATTR,
+            RPC_DISPATCH_ATTRS,
+        )
+
+        # call sites catalogued for this file, keyed by position — shared
+        # AST identity is not assumed, (line, col) is stable either way
+        sites = {}
+        for fq, fn in project.functions.items():
+            if fn.relpath != ctx.relpath:
                 continue
-            if any(isinstance(n, ast.Raise) for child in node.body
-                   for n in ast.walk(child)):
-                continue
-            caught = "bare except" if node.type is None else \
-                f"except {ast.unparse(node.type)}"
-            yield self.violation(
-                ctx, node,
-                f"{caught} without re-raise can swallow injected "
-                "RpcTimeoutError/WorkerCrashedError — catch the typed "
-                "fault errors or re-raise",
-            )
+            for call in fn.calls:
+                sites[(call.node.lineno, call.node.col_offset)] = call
+        for stmt in try_node.body:
+            for n in ast.walk(stmt):
+                if isinstance(n, (ast.Yield, ast.YieldFrom)):
+                    return True
+                if isinstance(n, ast.Raise) and self._raises_fault_name(
+                        ctx, n):
+                    return True
+                if not isinstance(n, ast.Call):
+                    continue
+                func = n.func
+                if isinstance(func, ast.Attribute) and \
+                        func.attr in (*RPC_DISPATCH_ATTRS, RPC_CONTEXT_ATTR):
+                    return True
+                site = sites.get((n.lineno, n.col_offset))
+                if site is not None and site.callee is not None:
+                    if project.raises_fault(site.callee):
+                        return True
+                    continue
+                name = ctx.imports.resolve(func)
+                if name is not None:
+                    q = project.resolve_dotted(name)
+                    if q is None:
+                        continue  # resolvable external: provably fault-free
+                    if q in project.functions and project.raises_fault(q):
+                        return True
+                    continue
+                if isinstance(func, ast.Name) and \
+                        func.id in _SAFE_BUILTINS:
+                    continue
+                return True  # dynamic/unknown callable: suspect
+        return False
+
+    @staticmethod
+    def _raises_fault_name(ctx: FileContext, node: ast.Raise) -> bool:
+        from repro.analysis.callgraph import FAULT_ERROR_NAMES
+
+        if node.exc is None:
+            return False
+        target = node.exc.func if isinstance(node.exc, ast.Call) \
+            else node.exc
+        name = ctx.imports.resolve(target)
+        if name is None and isinstance(target, ast.Name):
+            name = target.id
+        if name is None and isinstance(target, ast.Attribute):
+            name = target.attr
+        return name in FAULT_ERROR_NAMES
 
     @staticmethod
     def _is_broad(type_node: ast.expr | None) -> bool:

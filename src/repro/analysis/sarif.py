@@ -1,0 +1,72 @@
+"""SARIF 2.1.0 export for ``cli analyze --sarif``.
+
+The Static Analysis Results Interchange Format is what code-scanning
+UIs (GitHub, VS Code SARIF viewers, ...) ingest; emitting it makes the
+REP rule findings a first-class citizen next to commodity linters.  The
+document shape follows the OASIS 2.1.0 schema: one ``run`` with the
+``repro-analyze`` driver, the full rule catalog under
+``tool.driver.rules`` (indexed by ``ruleIndex`` from each result), and
+one ``result`` per violation with a ``physicalLocation`` whose region is
+1-based (``startColumn = col + 1`` — :class:`~repro.analysis.lint.Violation`
+columns are 0-based AST offsets).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.lint import Rule, Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+TOOL_NAME = "repro-analyze"
+TOOL_URI = "https://github.com/repro/repro/blob/main/docs/static-analysis.md"
+
+
+def to_sarif(violations: Sequence[Violation],
+             rules: Iterable[Rule]) -> dict:
+    """Build the SARIF 2.1.0 document for one analyze run."""
+    catalog = sorted({r.id: r for r in rules}.values(), key=lambda r: r.id)
+    index = {r.id: i for i, r in enumerate(catalog)}
+    results = []
+    for v in sorted(violations):
+        result = {
+            "ruleId": v.rule,
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": v.path,
+                                         "uriBaseId": "SRCROOT"},
+                    "region": {"startLine": v.line,
+                               "startColumn": v.col + 1},
+                },
+            }],
+        }
+        if v.rule in index:
+            result["ruleIndex"] = index[v.rule]
+        results.append(result)
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "informationUri": TOOL_URI,
+                    "rules": [{
+                        "id": r.id,
+                        "name": type(r).__name__,
+                        "shortDescription": {"text": r.title},
+                        "defaultConfiguration": {"level": "error"},
+                    } for r in catalog],
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"description": {
+                    "text": "repository root the analyzer ran from"}},
+            },
+            "results": results,
+        }],
+    }

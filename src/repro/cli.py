@@ -627,12 +627,41 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _changed_paths(base: str) -> set[str]:
+    """Repo-relative .py paths changed vs ``base`` (plus untracked files)."""
+    import subprocess
+
+    out: set[str] = set()
+    diff = subprocess.run(["git", "diff", "--name-only", base, "--"],
+                          cwd=_REPO_ROOT, capture_output=True, text=True)
+    if diff.returncode != 0:
+        raise SystemExit(
+            f"analyze: git diff --name-only {base} failed: "
+            f"{diff.stderr.strip()}")
+    out.update(diff.stdout.splitlines())
+    untracked = subprocess.run(
+        ["git", "ls-files", "--others", "--exclude-standard"],
+        cwd=_REPO_ROOT, capture_output=True, text=True)
+    if untracked.returncode == 0:
+        out.update(untracked.stdout.splitlines())
+    return {p for p in out if p.endswith(".py")}
+
+
 def cmd_analyze(args) -> int:
-    """Static-analysis gate: lint the tree, exit 1 naming each violation."""
+    """Static-analysis gate: lint the tree, exit 1 naming each violation.
+
+    Findings reconcile against the committed ratchet baseline
+    (``analysis-baseline.json``): baselined findings are suppressed, new
+    findings fail, and stale baseline entries fail too (unless the run
+    was partial — ``--changed-only``, explicit paths, or ``--rule``).
+    """
     import json as _json
 
     from repro.analysis import load_config, run_lint
+    from repro.analysis.baseline import (load_baseline, reconcile,
+                                         save_baseline)
     from repro.analysis.rules import ALL_RULES, get_rules
+    from repro.analysis.sarif import to_sarif
 
     if args.list_rules:
         for rule in ALL_RULES:
@@ -641,23 +670,65 @@ def cmd_analyze(args) -> int:
     rules = get_rules(args.rule) if args.rule else None
     paths = [Path(p) for p in args.paths] if args.paths \
         else [_REPO_ROOT / "src" / "repro"]
+    if args.graph:
+        from repro.analysis.callgraph import build_project
+
+        project = build_project(paths, root=_REPO_ROOT)
+        if args.graph == "dot":
+            print(project.to_dot())
+        else:
+            print(_json.dumps(project.to_json(), indent=1))
+        return 0
     config = None if args.no_config \
         else load_config(_REPO_ROOT / "pyproject.toml")
+    only = None
+    if args.changed_only:
+        only = _changed_paths(args.base)
+        if not only:
+            print(f"analyze OK: no .py files changed vs {args.base}")
+            return 0
     violations = run_lint(paths, rules=rules, config=config,
-                          root=_REPO_ROOT)
-    if args.json:
-        print(_json.dumps([v.as_dict() for v in violations], indent=1))
+                          root=_REPO_ROOT, only=only)
+    baseline_path = Path(args.baseline) if args.baseline \
+        else _REPO_ROOT / "analysis-baseline.json"
+    if args.update_baseline:
+        saved = save_baseline(baseline_path, violations)
+        print(f"analyze: baseline updated — {saved.total} finding(s) "
+              f"frozen in {baseline_path}")
+        return 0
+    if args.no_baseline:
+        new, stale, suppressed = tuple(violations), (), ()
     else:
-        for v in violations:
+        full_tree = not args.paths and only is None and rules is None
+        result = reconcile(load_baseline(baseline_path), violations,
+                           check_stale=full_tree)
+        new, stale, suppressed = result.new, result.stale, result.suppressed
+    if args.sarif is not None:
+        doc = to_sarif(violations, rules if rules is not None else ALL_RULES)
+        text = _json.dumps(doc, indent=1)
+        if args.sarif == "-":
+            print(text)
+        else:
+            Path(args.sarif).write_text(text + "\n")
+    if args.json:
+        print(_json.dumps([v.as_dict() for v in new], indent=1))
+    elif args.sarif != "-":
+        for v in new:
             print(v.format())
-    if violations:
-        n_rules = len({v.rule for v in violations})
-        print(f"analyze: {len(violations)} violation(s) "
-              f"across {n_rules} rule(s)", file=sys.stderr)
+    for rule, rel, message in stale:
+        print(f"analyze: stale baseline entry {rule} {rel}: {message!r} "
+              "— the tree no longer produces it; regenerate with "
+              "--update-baseline", file=sys.stderr)
+    if new or stale:
+        n_rules = len({v.rule for v in new} | {k[0] for k in stale})
+        print(f"analyze: {len(new)} new violation(s), {len(stale)} stale "
+              f"baseline entr(y/ies) across {n_rules} rule(s)",
+              file=sys.stderr)
         return 1
-    if not args.json:
+    if not args.json and args.sarif != "-":
         n = len(rules) if rules is not None else len(ALL_RULES)
-        print(f"analyze OK: {n} rule(s), 0 violations")
+        extra = f", {len(suppressed)} baselined" if suppressed else ""
+        print(f"analyze OK: {n} rule(s), 0 new violations{extra}")
     return 0
 
 
@@ -955,6 +1026,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="list rule IDs and titles, then exit")
     p.add_argument("--no-config", action="store_true",
                    help="ignore the [tool.repro.analysis] allowlist")
+    p.add_argument("--changed-only", action="store_true",
+                   help="report only findings in files changed vs --base "
+                        "(the whole tree is still analyzed)")
+    p.add_argument("--base", default="HEAD", metavar="REF",
+                   help="git ref --changed-only diffs against "
+                        "(default: HEAD)")
+    p.add_argument("--sarif", nargs="?", const="-", default=None,
+                   metavar="FILE",
+                   help="emit SARIF 2.1.0 to FILE ('-' or bare = stdout)")
+    p.add_argument("--graph", choices=("dot", "json"), default=None,
+                   help="dump the whole-program call/lock graph and exit")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="ratchet baseline file "
+                        "(default: analysis-baseline.json)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="freeze current findings as the new baseline")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore the baseline: any finding fails")
     p.set_defaults(fn=cmd_analyze)
     return parser
 

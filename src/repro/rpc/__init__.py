@@ -22,6 +22,7 @@ Two interchangeable executions:
 """
 
 from repro.rpc.api import RpcContext
+from repro.rpc.handlers import handler_surface, is_rpc_handler, rpc_handler
 from repro.rpc.retry import RetryPolicy
 from repro.rpc.rref import RRef
 from repro.rpc.serialization import payload_sizes
@@ -35,5 +36,8 @@ __all__ = [
     "RpcServer",
     "ThreadRuntime",
     "WorkerInfo",
+    "handler_surface",
+    "is_rpc_handler",
     "payload_sizes",
+    "rpc_handler",
 ]

@@ -24,6 +24,7 @@ from typing import Any, Callable, Generator
 
 from repro.errors import RpcError, RpcTimeoutError, SimulationError
 from repro.obs import Obs
+from repro.rpc.handlers import check_dispatch
 from repro.rpc.retry import RetryPolicy
 from repro.rpc.rref import RRef
 from repro.rpc.serialization import payload_sizes
@@ -122,6 +123,9 @@ class _ThreadServer:
 
     def resolve_method(self, key: str, method: str) -> Callable:
         obj = self.get_object(key)
+        refused = check_dispatch(obj, method)
+        if refused is not None:
+            raise RpcError(f"on {self.info.name!r}: {refused}")
         fn = getattr(obj, method, None)
         if fn is None or not callable(fn):
             raise RpcError(f"object {key!r} has no method {method!r}")

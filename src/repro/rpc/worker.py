@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.errors import RpcError, WorkerCrashedError
+from repro.rpc.handlers import check_dispatch
 from repro.simt.process import SimProcess
 from repro.utils.timer import Stopwatch
 
@@ -78,6 +79,9 @@ class RpcServer:
 
     def resolve_method(self, key: str, method: str) -> Callable:
         obj = self.get_object(key)
+        refused = check_dispatch(obj, method)
+        if refused is not None:
+            raise RpcError(f"on {self.info.name!r}: {refused}")
         fn = getattr(obj, method, None)
         if fn is None or not callable(fn):
             raise RpcError(

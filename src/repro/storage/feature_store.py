@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ShardError
+from repro.rpc.handlers import rpc_handler
 from repro.rpc.rref import RRef
 from repro.storage.build import ShardedGraph
 
@@ -35,6 +36,7 @@ class FeatureShard:
     def dim(self) -> int:
         return self.features.shape[1]
 
+    @rpc_handler
     def gather(self, local_ids) -> np.ndarray:
         """Rows for the given core-node local IDs (copy, RPC-safe)."""
         ids = np.asarray(local_ids, dtype=np.int64)

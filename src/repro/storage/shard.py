@@ -33,6 +33,7 @@ import threading
 import numpy as np
 
 from repro.errors import ShardError
+from repro.rpc.handlers import rpc_handler
 from repro.storage.neighbor_batch import NeighborBatch, NeighborLists
 from repro.storage.shard_update import ShardUpdate
 from repro.storage.vertex_prop import VertexProp
@@ -128,10 +129,12 @@ class GraphShard:
         return ids
 
     # -- fetch API (the "Graph Storage" operations) --------------------------
+    @rpc_handler
     def get_vertex_props(self, local_ids) -> VertexProp:
         """Zero-copy local fetch: views over the shard arrays."""
         return VertexProp(self, self._check_ids(local_ids))
 
+    @rpc_handler
     def get_neighbor_batch(self, local_ids) -> NeighborBatch:
         """CSR-compressed batch response (remote fetch, *Compress* mode)."""
         ids = self._check_ids(local_ids)
@@ -139,6 +142,7 @@ class GraphShard:
         (indptr, local, shard, glob, w, wdeg, src_wdeg) = prop.to_arrays()
         return NeighborBatch(indptr, local, shard, glob, w, wdeg, src_wdeg)
 
+    @rpc_handler
     def get_neighbor_lists(self, local_ids) -> NeighborLists:
         """Uncompressed list-of-lists response (ablation: batch, no compress).
 
@@ -156,14 +160,17 @@ class GraphShard:
             ))
         return NeighborLists(entries, self.core_wdeg[ids].copy())
 
+    @rpc_handler
     def get_single(self, local_id: int) -> NeighborLists:
         """One-node response (ablation: no batching at all)."""
         return self.get_neighbor_lists(np.array([local_id], dtype=np.int64))
 
+    @rpc_handler
     def source_weighted_degrees(self, local_ids) -> np.ndarray:
         """Own weighted degrees of the given core nodes."""
         return self.core_wdeg[self._check_ids(local_ids)]
 
+    @rpc_handler
     def sample_one_neighbor(self, local_ids, salt: int | None = None):
         """Uniformly sample one out-neighbor per requested core node.
 
@@ -258,6 +265,7 @@ class GraphShard:
         pos = np.minimum(pos, len(self._cache_keys) - 1)
         return self._cache_keys[pos] == keys
 
+    @rpc_handler
     def get_cached_batch(self, dest_shard: int,
                          local_ids) -> NeighborBatch:
         """Serve a remote shard's nodes from the local halo cache."""
@@ -292,6 +300,7 @@ class GraphShard:
     # (pre-image restore), so a batch is all-or-nothing across the
     # cluster.  All three mutators are idempotent under RPC retries.
 
+    @rpc_handler
     def stage_updates(self, tag: int, update: ShardUpdate) -> int:
         """Precompute replacement arrays for one batch; nothing visible yet.
 
@@ -431,6 +440,7 @@ class GraphShard:
         src_wdeg[ref_idx] = update.halo_src_wdeg[srcs]
         return {"c_indptr": indptr, "c_src_wdeg": src_wdeg, **out}
 
+    @rpc_handler
     def commit_updates(self, tag: int) -> int:
         """Swap staged arrays in, retaining the pre-image for rollback."""
         tag = int(tag)
@@ -464,6 +474,7 @@ class GraphShard:
         self._preimage = {tag: pre}  # older pre-images are now unreachable
         return 1
 
+    @rpc_handler
     def rollback_updates(self, tag: int) -> int:
         """Undo a commit (pre-image restore) or discard a stage.
 
@@ -487,11 +498,13 @@ class GraphShard:
         self._staged.pop(tag, None)
         return 1
 
+    @rpc_handler
     def abort_updates(self, tag: int) -> int:
         """Discard a staged (never committed) batch.  Idempotent."""
         self._staged.pop(int(tag), None)
         return 1
 
+    @rpc_handler
     def install_halo_rows(self, keys, src_wdeg, indptr, local, shard,
                           glob, weight, wdeg) -> int:
         """Merge replacement/replica rows into the halo cache.

@@ -1,0 +1,43 @@
+"""REP008 positive fixture: two lock-order cycles, one per style.
+
+Expected hits: 4 — each 2-cycle is reported once per edge, at the
+acquisition witnessing it (the nested ``with`` or the call made while
+holding the other lock).
+"""
+import threading
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+
+
+def forward():
+    with LOCK_A:
+        with LOCK_B:  # edge A -> B
+            pass
+
+
+def backward():
+    with LOCK_B:
+        with LOCK_A:  # edge B -> A: closes the cycle
+            pass
+
+
+class Pool:
+    """The interprocedural variant: the inversion spans a call edge."""
+
+    def __init__(self):
+        self._alloc_lock = threading.Lock()
+        self._free_lock = threading.Lock()
+
+    def allocate(self):
+        with self._alloc_lock:
+            self._reclaim()  # acquires _free_lock while holding _alloc_lock
+
+    def _reclaim(self):
+        with self._free_lock:
+            pass
+
+    def release(self):
+        with self._free_lock:
+            with self._alloc_lock:  # inverted: closes the cycle
+                pass

@@ -1,0 +1,26 @@
+"""REP008 negative fixture: every path agrees on one acquisition order."""
+import threading
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+
+
+def forward():
+    with LOCK_A:
+        with LOCK_B:
+            pass
+
+
+def also_forward():
+    with LOCK_A:
+        nested()
+
+
+def nested():
+    with LOCK_B:
+        pass
+
+
+def only_b():
+    with LOCK_B:
+        pass

@@ -1,0 +1,22 @@
+"""REP009 positive fixture: shared containers mutated with no lock held.
+
+Expected hits: 3 — a subscript store, an augmented assignment, and a
+mutator method call, all against module-level containers reachable from
+any thread.
+"""
+
+REGISTRY = {}
+COUNTS = {}
+PENDING = []
+
+
+def register(key, value):
+    REGISTRY[key] = value  # subscript store, no lock
+
+
+def bump(key):
+    COUNTS[key] += 1  # augassign, no lock
+
+
+def enqueue(item):
+    PENDING.append(item)  # mutator call, no lock

@@ -1,0 +1,33 @@
+"""REP009 negative fixture: every shared mutation is lock-disciplined.
+
+Covers the three accepted shapes: a lock held at the mutation site, a
+helper whose *every* resolved caller already holds the lock, and
+mutation of function-local (unshared) state.
+"""
+import threading
+
+REGISTRY = {}
+_LOCK = threading.Lock()
+
+
+def register(key, value):
+    with _LOCK:
+        REGISTRY[key] = value
+
+
+def register_many(pairs):
+    with _LOCK:
+        for key, value in pairs:
+            _insert(key, value)
+
+
+def _insert(key, value):
+    # no lock here, but every caller holds _LOCK
+    REGISTRY[key] = value
+
+
+def local_scratch(items):
+    seen = {}
+    for item in items:
+        seen[item] = True  # function-local: not shared
+    return seen

@@ -1,0 +1,23 @@
+"""REP010 positive fixture: every dispatch-contract failure mode.
+
+Expected hits: 3 — a dispatch of a method nothing registers, a payload
+the registered handler cannot bind, and a decorated handler nothing
+dispatches (dead remote surface).
+"""
+from repro.rpc.handlers import rpc_handler
+
+
+class ShardServer:
+    @rpc_handler
+    def fetch_chunk(self, chunk_id):
+        return chunk_id
+
+    @rpc_handler
+    def orphan_probe(self):  # never dispatched anywhere
+        return None
+
+
+def driver(ctx, ref):
+    ctx.rpc_async(ref, "fetch_chunk", 7)          # fine
+    ctx.rpc_async(ref, "deleted_method", 7)       # no such handler
+    ctx.rpc_async(ref, "fetch_chunk", 7, 8, 9)    # arity mismatch

@@ -1,0 +1,28 @@
+"""REP010 negative fixture: registered handlers, bindable payloads.
+
+Covers direct literals on both dispatch attrs, the ``rref_call`` tuple
+payload form, and a method name forwarded through a helper parameter
+(resolved one call-graph hop out).
+"""
+from repro.rpc.handlers import rpc_handler
+
+
+class RowServer:
+    @rpc_handler
+    def get_rows(self, lo, hi=None):
+        return (lo, hi)
+
+    @rpc_handler
+    def shutdown_server(self):
+        return None
+
+
+def driver(ctx, ref):
+    ctx.rpc_async(ref, "get_rows", 3)
+    ctx.rpc_sync_effect(ref, "get_rows", 3, 9)
+    ctx.rref_call("w0", ref, "get_rows", (3,), {"hi": 9})
+    _broadcast(ctx, ref, "shutdown_server")
+
+
+def _broadcast(ctx, ref, method):
+    ctx.rpc_async(ref, method)

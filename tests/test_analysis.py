@@ -1,12 +1,14 @@
 """The determinism & concurrency sanitizer suite (``repro.analysis``).
 
-Three pillars, tested in order: the custom AST lint engine and its
-REP001–REP007 rules (against per-rule positive/negative fixtures under
+Pillars, tested in order: the custom AST lint engine and its
+REP001–REP010 rules (against per-rule positive/negative fixtures under
 ``tests/fixtures/analysis/`` and against the shipped tree, which must be
-clean — the tier-1 gate); the Eraser-style lockset race detector wired
-through ``ShardedMap`` / ``ThreadRuntime`` / ``RunRequest(sanitize=True)``;
-and the scheduler deadlock detector that names the blocked coroutine and
-the future it awaits when the event queue drains early.
+clean — the tier-1 gate); the whole-program call/lock-graph model behind
+the interprocedural rules, the ratchet baseline, and the SARIF export;
+the Eraser-style lockset race detector wired through ``ShardedMap`` /
+``ThreadRuntime`` / ``RunRequest(sanitize=True)``; and the scheduler
+deadlock detector that names the blocked coroutine and the future it
+awaits when the event queue drains early.
 """
 
 import json
@@ -18,11 +20,18 @@ import pytest
 from repro.analysis import (
     AnalysisConfig,
     RaceDetector,
+    build_project,
     diagnose,
     installed,
     load_config,
     run_lint,
     uninstall,
+)
+from repro.analysis.baseline import (
+    BASELINE_SCHEMA,
+    load_baseline,
+    reconcile,
+    save_baseline,
 )
 from repro.analysis.lint import (
     FileContext,
@@ -30,6 +39,7 @@ from repro.analysis.lint import (
     collect_pragmas,
     lint_file,
 )
+from repro.analysis.sarif import to_sarif
 from repro.analysis.rules import ALL_RULE_IDS, ALL_RULES, get_rules
 from repro.cli import main
 from repro.engine import EngineConfig, GraphEngine, RunRequest
@@ -55,6 +65,9 @@ FIXTURE_MAP = {
     "REP005": ("simt/rep005_bad.py", "simt/rep005_ok.py", 3),
     "REP006": ("rpc/rep006_bad.py", "rpc/rep006_ok.py", 2),
     "REP007": ("rep007_bad.py", "rep007_ok.py", 3),
+    "REP008": ("rep008_bad.py", "rep008_ok.py", 4),
+    "REP009": ("rpc/rep009_bad.py", "rpc/rep009_ok.py", 3),
+    "REP010": ("rpc/rep010_bad.py", "rpc/rep010_ok.py", 3),
 }
 
 
@@ -70,7 +83,8 @@ def lint_fixture(rel, rule_id):
 class TestFramework:
     def test_all_rules_registered(self):
         assert ALL_RULE_IDS == ("REP001", "REP002", "REP003", "REP004",
-                                "REP005", "REP006", "REP007")
+                                "REP005", "REP006", "REP007", "REP008",
+                                "REP009", "REP010")
         assert all(r.title for r in ALL_RULES)
 
     def test_get_rules_unknown_id(self):
@@ -278,6 +292,398 @@ class TestTreeGateAndCli:
         out = capsys.readouterr().out
         for rule_id in ALL_RULE_IDS:
             assert rule_id in out, f"{rule_id} missing from:\n{out}"
+
+
+# ---------------------------------------------------------------------------
+# the whole-program model (callgraph.py)
+# ---------------------------------------------------------------------------
+
+class TestCallGraph:
+    def test_aliased_import_resolves_cross_module(self, tmp_path):
+        (tmp_path / "helpers.py").write_text(
+            "def fetch(x):\n    return x\n")
+        (tmp_path / "driver.py").write_text(
+            "from helpers import fetch as grab\n"
+            "import helpers as h\n"
+            "def run():\n"
+            "    grab(1)\n"
+            "    h.fetch(2)\n")
+        project = build_project([tmp_path], root=tmp_path)
+        callees = [c.callee for c in project.functions["driver:run"].calls]
+        assert callees == ["helpers:fetch", "helpers:fetch"]
+
+    def test_self_method_and_inherited_resolution(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "class Base:\n"
+            "    def ping(self):\n"
+            "        return 1\n"
+            "class Impl(Base):\n"
+            "    def run(self):\n"
+            "        return self.ping()\n")
+        project = build_project([tmp_path], root=tmp_path)
+        calls = project.functions["mod:Impl.run"].calls
+        assert [c.callee for c in calls] == ["mod:Base.ping"]
+
+    def test_nested_defs_are_cataloged_and_resolved(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "import threading\n"
+            "L = threading.Lock()\n"
+            "def outer():\n"
+            "    def inner():\n"
+            "        with L:\n"
+            "            pass\n"
+            "    inner()\n")
+        project = build_project([tmp_path], root=tmp_path)
+        nested = project.functions["mod:outer.<locals>.inner"]
+        assert [a.lock_id for a in nested.locks] == ["mod:L"]
+        outer_calls = project.functions["mod:outer"].calls
+        assert [c.callee for c in outer_calls] == \
+            ["mod:outer.<locals>.inner"]
+
+    def test_lock_cycle_through_closure(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "import threading\n"
+            "L1 = threading.Lock()\n"
+            "L2 = threading.Lock()\n"
+            "def outer():\n"
+            "    def inner():\n"
+            "        with L1:\n"
+            "            with L2:\n"
+            "                pass\n"
+            "    return inner\n"
+            "def other():\n"
+            "    with L2:\n"
+            "        with L1:\n"
+            "            pass\n")
+        project = build_project([tmp_path], root=tmp_path)
+        assert project.lock_cycles() == [["mod:L1", "mod:L2"]]
+
+    def test_graph_exports(self):
+        project = build_project([FIXTURES / "rep008_bad.py"],
+                                root=REPO_ROOT)
+        payload = project.to_json()
+        assert payload["schema"] == "repro.analysis-graph/v1"
+        assert payload["locks"]["cycles"], "fixture cycle missing"
+        dot = project.to_dot()
+        assert dot.startswith("digraph")
+        assert "color=red" in dot  # cycle edges are highlighted
+
+    def test_run_lint_only_filters_report_not_analysis(self, tmp_path):
+        rpc = tmp_path / "rpc"
+        rpc.mkdir()
+        (rpc / "server.py").write_text(
+            "from repro.rpc.handlers import rpc_handler\n"
+            "class S:\n"
+            "    @rpc_handler\n"
+            "    def ok(self):\n"
+            "        return 1\n")
+        (rpc / "client.py").write_text(
+            "def go(ctx, ref):\n"
+            "    ctx.rpc_async(ref, 'ok')\n"
+            "    ctx.rpc_async(ref, 'gone')\n")
+        everything = run_lint([tmp_path], rules=get_rules(["REP010"]),
+                              root=tmp_path)
+        assert [v.path for v in everything] == ["rpc/client.py"]
+        # restricting the report to server.py hides the client finding but
+        # the whole-program analysis still ran: no orphan false-positive
+        # for S.ok (its dispatch site lives in the unreported file)
+        only_server = run_lint([tmp_path], rules=get_rules(["REP010"]),
+                               root=tmp_path, only=["rpc/server.py"])
+        assert only_server == []
+
+
+# ---------------------------------------------------------------------------
+# the interprocedural rules (REP008–REP010) + project-refined verdicts
+# ---------------------------------------------------------------------------
+
+class TestInterproceduralRules:
+    def test_rep008_reports_every_cycle_edge_with_the_ring(self):
+        out = lint_fixture("rep008_bad.py", "REP008")
+        module_cycle = [v for v in out if "LOCK_A" in v.message]
+        class_cycle = [v for v in out if "Pool._" in v.message]
+        assert len(module_cycle) == 2 and len(class_cycle) == 2
+        assert all("->" in v.message for v in out)
+
+    def test_rep009_names_target_and_definition_site(self):
+        out = lint_fixture("rpc/rep009_bad.py", "REP009")
+        assert any("REGISTRY" in v.message and "rep009_bad.py:8" in v.message
+                   for v in out)
+
+    def test_rep009_locked_callers_exempt_helper(self):
+        # the _insert helper in the ok fixture mutates with no lock at the
+        # site; it is exempt only because every caller holds _LOCK
+        out = lint_fixture("rpc/rep009_ok.py", "REP009")
+        assert out == []
+
+    def test_rep010_forwarded_method_param_resolves_one_hop(self, tmp_path):
+        rpc = tmp_path / "rpc"
+        rpc.mkdir()
+        (rpc / "mod.py").write_text(
+            "from repro.rpc.handlers import rpc_handler\n"
+            "class S:\n"
+            "    @rpc_handler\n"
+            "    def present(self):\n"
+            "        return 1\n"
+            "def _send(ctx, ref, method):\n"
+            "    ctx.rpc_async(ref, method)\n"
+            "def go(ctx, ref):\n"
+            "    _send(ctx, ref, 'present')\n"
+            "    _send(ctx, ref, 'absent')\n")
+        out = run_lint([tmp_path], rules=get_rules(["REP010"]),
+                       root=tmp_path)
+        assert len(out) == 1
+        # reported at the *outer* call, where the literal lives
+        assert out[0].line == 10 and "'absent'" in out[0].message
+
+    def test_rep010_quiet_without_declared_handlers(self, tmp_path):
+        # ad-hoc test doubles: dispatch literals but no @rpc_handler
+        # anywhere in the analyzed project -> contract checking stays off
+        (tmp_path / "mod.py").write_text(
+            "def go(ctx, ref):\n"
+            "    ctx.rpc_async(ref, 'anything_at_all')\n")
+        assert run_lint([tmp_path], rules=get_rules(["REP010"]),
+                        root=tmp_path) == []
+
+    def test_rep006_provably_safe_body_not_flagged(self, tmp_path):
+        rpc = tmp_path / "rpc"
+        rpc.mkdir()
+        (rpc / "mod.py").write_text(
+            "import numpy as np\n"
+            "def summarize(rows):\n"
+            "    try:\n"
+            "        return float(np.mean(rows))\n"
+            "    except Exception:\n"
+            "        return 0.0\n")
+        assert run_lint([tmp_path], rules=get_rules(["REP006"]),
+                        root=tmp_path) == []
+
+    def test_rep006_fault_capable_bodies_still_flagged(self, tmp_path):
+        rpc = tmp_path / "rpc"
+        rpc.mkdir()
+        (rpc / "mod.py").write_text(
+            "def drain(fut):\n"
+            "    try:\n"
+            "        yield fut\n"               # simt faults throw here
+            "    except Exception:\n"
+            "        pass\n"
+            "def dynamic(call):\n"
+            "    try:\n"
+            "        call()\n"                  # unknown callable: suspect
+            "    except Exception:\n"
+            "        pass\n")
+        out = run_lint([tmp_path], rules=get_rules(["REP006"]),
+                       root=tmp_path)
+        assert [v.line for v in out] == [4, 9]
+
+    def test_rep004_judges_callee_return_paths_one_hop(self, tmp_path):
+        rpc = tmp_path / "rpc"
+        rpc.mkdir()
+        (rpc / "mod.py").write_text(
+            "def make_cb():\n"
+            "    return lambda x: x\n"
+            "def mixed(flag):\n"
+            "    if flag:\n"
+            "        return lambda x: x\n"
+            "    return [1, 2]\n"
+            "def send(ctx, ref):\n"
+            "    ctx.rpc_async(ref, 'm', make_cb())\n"   # every return bad
+            "    ctx.rpc_async(ref, 'm', mixed(True))\n")  # one good path
+        out = run_lint([tmp_path], rules=get_rules(["REP004"]),
+                       root=tmp_path)
+        assert len(out) == 1 and out[0].line == 8
+        assert "every return path is unsizeable" in out[0].message
+
+    def test_deleting_a_handler_is_caught(self, tmp_path):
+        """The ISSUE acceptance scenario: drop a handler, REP010 fires."""
+        rpc = tmp_path / "rpc"
+        rpc.mkdir()
+        before = (
+            "from repro.rpc.handlers import rpc_handler\n"
+            "class S:\n"
+            "    @rpc_handler\n"
+            "    def alpha(self):\n"
+            "        return 1\n"
+            "    @rpc_handler\n"
+            "    def beta(self):\n"
+            "        return 2\n"
+            "def go(ctx, ref):\n"
+            "    ctx.rpc_async(ref, 'alpha')\n"
+            "    ctx.rpc_async(ref, 'beta')\n")
+        mod = rpc / "mod.py"
+        mod.write_text(before)
+        assert run_lint([tmp_path], rules=get_rules(["REP010"]),
+                        root=tmp_path) == []
+        mod.write_text(before.replace(
+            "    @rpc_handler\n    def beta(self):\n        return 2\n",
+            ""))
+        out = run_lint([tmp_path], rules=get_rules(["REP010"]),
+                       root=tmp_path)
+        assert len(out) == 1 and "'beta'" in out[0].message
+
+    def test_inverting_lock_order_is_caught(self, tmp_path):
+        """The ISSUE acceptance scenario: invert two with-blocks, REP008."""
+        before = (
+            "import threading\n"
+            "A = threading.Lock()\n"
+            "B = threading.Lock()\n"
+            "def one():\n"
+            "    with A:\n"
+            "        with B:\n"
+            "            pass\n"
+            "def two():\n"
+            "    with A:\n"
+            "        with B:\n"
+            "            pass\n")
+        mod = tmp_path / "mod.py"
+        mod.write_text(before)
+        assert run_lint([tmp_path], rules=get_rules(["REP008"]),
+                        root=tmp_path) == []
+        mod.write_text(before.replace(
+            "def two():\n    with A:\n        with B:\n",
+            "def two():\n    with B:\n        with A:\n"))
+        out = run_lint([tmp_path], rules=get_rules(["REP008"]),
+                       root=tmp_path)
+        assert len(out) == 2
+        assert all("mod:A" in v.message and "mod:B" in v.message
+                   for v in out)
+
+
+# ---------------------------------------------------------------------------
+# the ratchet baseline
+# ---------------------------------------------------------------------------
+
+def _v(rule="REP001", path="src/a.py", line=3, message="boom"):
+    return Violation(path=path, line=line, col=0, rule=rule,
+                     message=message)
+
+
+class TestBaseline:
+    def test_roundtrip(self, tmp_path):
+        f = tmp_path / "base.json"
+        saved = save_baseline(f, [_v(), _v(line=9), _v(rule="REP002")])
+        loaded = load_baseline(f)
+        assert loaded.entries == saved.entries
+        assert loaded.entries[("REP001", "src/a.py", "boom")] == 2
+        payload = json.loads(f.read_text())
+        assert payload["schema"] == BASELINE_SCHEMA
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json").entries == {}
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        f = tmp_path / "base.json"
+        f.write_text('{"schema": "something/v9", "findings": []}')
+        with pytest.raises(ValueError, match="schema"):
+            load_baseline(f)
+
+    def test_new_finding_fails(self, tmp_path):
+        f = tmp_path / "base.json"
+        baseline = save_baseline(f, [_v()])
+        result = reconcile(baseline, [_v(), _v(rule="REP005")])
+        assert [v.rule for v in result.new] == ["REP005"]
+        assert result.stale == () and not result.ok
+
+    def test_stale_entry_fails(self, tmp_path):
+        f = tmp_path / "base.json"
+        baseline = save_baseline(f, [_v(), _v(rule="REP002")])
+        result = reconcile(baseline, [_v()])
+        assert result.new == ()
+        assert result.stale == (("REP002", "src/a.py", "boom"),)
+        assert not result.ok
+
+    def test_stale_check_skipped_for_partial_runs(self, tmp_path):
+        baseline = save_baseline(tmp_path / "b.json", [_v()])
+        result = reconcile(baseline, [], check_stale=False)
+        assert result.ok
+
+    def test_line_moves_do_not_churn(self, tmp_path):
+        # the key is (rule, path, message): code motion above a baselined
+        # finding keeps it suppressed
+        baseline = save_baseline(tmp_path / "b.json", [_v(line=3)])
+        result = reconcile(baseline, [_v(line=40)])
+        assert result.ok and len(result.suppressed) == 1
+
+    def test_excess_duplicates_are_new_last_in_line_order(self, tmp_path):
+        baseline = save_baseline(tmp_path / "b.json", [_v(line=3)])
+        result = reconcile(baseline, [_v(line=3), _v(line=9)])
+        assert [v.line for v in result.new] == [9]
+        assert [v.line for v in result.suppressed] == [3]
+
+
+# ---------------------------------------------------------------------------
+# SARIF export + the new CLI surfaces
+# ---------------------------------------------------------------------------
+
+class TestSarifAndCliSurfaces:
+    def test_sarif_document_shape(self):
+        vs = [_v(line=7)]
+        doc = to_sarif(vs, ALL_RULES)
+        assert doc["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+        run = doc["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-analyze"
+        assert [r["id"] for r in driver["rules"]] == list(ALL_RULE_IDS)
+        result = run["results"][0]
+        assert result["ruleId"] == "REP001"
+        assert result["level"] == "error"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 7
+        assert region["startColumn"] == 1  # 0-based col -> 1-based
+
+    def test_cli_sarif_stdout(self, capsys):
+        bad = FIXTURES / "rep001_bad.py"
+        assert main(["analyze", str(bad), "--rule", "REP001",
+                     "--sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        results = doc["runs"][0]["results"]
+        assert results and all(r["ruleId"] == "REP001" for r in results)
+
+    def test_cli_sarif_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.sarif"
+        bad = FIXTURES / "rep001_bad.py"
+        assert main(["analyze", str(bad), "--rule", "REP001",
+                     "--sarif", str(out_file)]) == 1
+        capsys.readouterr()
+        doc = json.loads(out_file.read_text())
+        assert doc["runs"][0]["results"]
+
+    def test_cli_graph_exports(self, capsys):
+        assert main(["analyze", str(FIXTURES / "rep008_bad.py"),
+                     "--graph", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.analysis-graph/v1"
+        assert payload["locks"]["cycles"]
+        assert main(["analyze", str(FIXTURES / "rep008_bad.py"),
+                     "--graph", "dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_cli_baseline_ratchet(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        bad = FIXTURES / "rep001_bad.py"
+        # freeze the findings, then the same tree passes with them noted
+        assert main(["analyze", str(bad), "--rule", "REP001",
+                     "--baseline", str(base), "--update-baseline"]) == 0
+        assert main(["analyze", str(bad), "--rule", "REP001",
+                     "--baseline", str(base)]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+        # --no-baseline ignores the budget: findings fail again
+        assert main(["analyze", str(bad), "--rule", "REP001",
+                     "--baseline", str(base), "--no-baseline"]) == 1
+        capsys.readouterr()
+
+    def test_cli_changed_only_runs(self, capsys):
+        # on a clean (or clean-baselined) tree this must exit 0 whatever
+        # the current diff against HEAD contains
+        assert main(["analyze", "--changed-only"]) == 0
+        capsys.readouterr()
+
+    def test_committed_baseline_is_empty(self):
+        # the shipped tree is clean, so the committed ratchet starts empty
+        baseline = load_baseline(REPO_ROOT / "analysis-baseline.json")
+        assert baseline.total == 0
 
 
 # ---------------------------------------------------------------------------
