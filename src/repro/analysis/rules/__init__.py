@@ -1,4 +1,4 @@
-"""The repo-specific rule registry (REP001–REP007).
+"""The repo-specific rule registry (REP001–REP011).
 
 Determinism rules (:mod:`repro.analysis.rules.determinism`):
 
@@ -33,6 +33,13 @@ checked against the :mod:`repro.analysis.callgraph` project model:
   lock held on any call path (static complement of ``analysis/race.py``);
 * **REP010** — RPC dispatch literals must bind a registered
   ``@rpc_handler`` with compatible arity; orphan handlers are flagged.
+
+Hot-path rules (:mod:`repro.analysis.rules.hotpath`):
+
+* **REP011** — ``.copy()`` / ``np.repeat`` / ``np.concatenate`` in the
+  zero-copy read-path modules (``storage/shard.py``,
+  ``storage/neighbor_batch.py``, ``storage/fetch.py``) without an
+  explicit ``# repro: allow=REP011`` pragma naming the sanctioned copy.
 """
 
 from __future__ import annotations
@@ -47,6 +54,7 @@ from repro.analysis.rules.determinism import (
     Rep002UnseededRandomness,
     Rep003UnorderedIteration,
 )
+from repro.analysis.rules.hotpath import Rep011HotPathCopy
 from repro.analysis.rules.interprocedural import (
     Rep008LockOrder,
     Rep009SharedMutableEscape,
@@ -66,6 +74,7 @@ ALL_RULES = (
     Rep008LockOrder(),
     Rep009SharedMutableEscape(),
     Rep010RpcContract(),
+    Rep011HotPathCopy(),
 )
 
 ALL_RULE_IDS = tuple(rule.id for rule in ALL_RULES)
@@ -97,5 +106,6 @@ __all__ = [
     "Rep008LockOrder",
     "Rep009SharedMutableEscape",
     "Rep010RpcContract",
+    "Rep011HotPathCopy",
     "get_rules",
 ]

@@ -1,0 +1,69 @@
+"""Hot-path rules: the zero-copy read path must stay zero-copy.
+
+REP011 guards the three modules on the local-fetch hot path —
+``storage/shard.py``, ``storage/neighbor_batch.py``, ``storage/fetch.py``
+— against allocation creep.  Any ``.copy()`` method call, ``np.repeat``
+or ``np.concatenate`` in those files allocates and fills a fresh buffer
+per request, which is exactly the cost the arena-view read path exists
+to avoid.  Each call must either go away or carry an explicit
+``# repro: allow=REP011 <reason>`` pragma naming why the copy is
+sanctioned (copy-on-serialize, non-contiguous gather fallback, staged
+mutation preimages).
+
+The rule is a per-file AST scan: attribute calls named ``copy`` and
+calls resolving through the import map to ``numpy.repeat`` /
+``numpy.concatenate``.  Everything outside the three scoped files is
+ignored — copies are fine where they are not per-request.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint import FileContext, Rule, Violation
+
+#: repo-relative path suffixes the rule is scoped to
+HOT_PATH_FILES = (
+    "storage/shard.py",
+    "storage/neighbor_batch.py",
+    "storage/fetch.py",
+)
+
+#: canonical numpy callables that gather/concatenate into fresh buffers
+NUMPY_ALLOCATORS = ("numpy.repeat", "numpy.concatenate")
+
+
+class Rep011HotPathCopy(Rule):
+    """Flag per-request allocations on the zero-copy shard read path."""
+
+    id = "REP011"
+    title = "allocation on the zero-copy read path without a pragma"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return any(ctx.relpath.endswith(suffix) for suffix in HOT_PATH_FILES)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "copy" \
+                    and not node.args and not node.keywords:
+                yield self.violation(
+                    ctx, node,
+                    "'.copy()' on the zero-copy read path allocates per "
+                    "request; slice the arena instead, or annotate the "
+                    "sanctioned copy with '# repro: allow=REP011 <reason>'",
+                )
+                continue
+            resolved = ctx.imports.resolve(func)
+            if resolved in NUMPY_ALLOCATORS:
+                short = resolved.replace("numpy.", "np.")
+                yield self.violation(
+                    ctx, node,
+                    f"'{short}' gathers into a fresh buffer on the "
+                    f"zero-copy read path; prefer contiguous-run slicing, "
+                    f"or annotate the fallback with "
+                    f"'# repro: allow=REP011 <reason>'",
+                )

@@ -108,13 +108,14 @@ def distributed_sppr_query(g: DistGraphStorage, proc, source_local: int,
             break
 
         if not opt.batched:
-            # Single mode: sequential per-vertex fetch + push.
-            for i in range(len(node_ids)):
-                fut = g.get_neighbor_infos_single(
-                    int(shard_ids[i]), int(node_ids[i])
-                )
+            # Single mode: sequential per-vertex fetch + push.  Convert
+            # once per frontier instead of one int() pair per vertex.
+            node_list = node_ids.tolist()
+            shard_list = shard_ids.tolist()
+            for i in range(len(node_list)):
+                fut = g.get_neighbor_infos_single(shard_list[i], node_list[i])
                 try:
-                    with proc.span("fetch", shard=int(shard_ids[i])):
+                    with proc.span("fetch", shard=shard_list[i]):
                         infos = yield Wait(fut)
                 except TRANSPORT_ERRORS:
                     if not skip:
@@ -130,11 +131,11 @@ def distributed_sppr_query(g: DistGraphStorage, proc, source_local: int,
 
         # Issue remote batches first (they are asynchronous either way; the
         # overlap flag decides whether we wait before or after local work).
+        # shard_masks entries are non-empty index arrays by construction.
         futs = {}
         for j, mask in masks.items():
-            if j == shard or not mask.any():
-                continue
-            futs[j] = g.get_neighbor_infos(j, node_ids[mask])
+            if j != shard:
+                futs[j] = g.get_neighbor_infos(j, node_ids[mask])
 
         remote_infos = {}
         if not opt.overlapped:
@@ -148,7 +149,7 @@ def distributed_sppr_query(g: DistGraphStorage, proc, source_local: int,
                     remote_infos[j] = None
 
         local_mask = masks.get(shard)
-        if local_mask is not None and local_mask.any():
+        if local_mask is not None:
             lfut = g.get_neighbor_infos(shard, node_ids[local_mask])
             infos = yield Wait(lfut)  # local calls resolve synchronously
             with proc.measured("push"):
@@ -203,11 +204,10 @@ def distributed_multi_query(g: DistGraphStorage, proc,
             masks = g.shard_masks(shard_ids)
         futs = {}
         for j, mask in masks.items():
-            if j == shard or not mask.any():
-                continue
-            futs[j] = g.get_neighbor_infos(j, node_ids[mask])
+            if j != shard:
+                futs[j] = g.get_neighbor_infos(j, node_ids[mask])
         local_mask = masks.get(shard)
-        if local_mask is not None and local_mask.any():
+        if local_mask is not None:
             infos = yield Wait(g.get_neighbor_infos(shard,
                                                     node_ids[local_mask]))
             with proc.measured("push"):
@@ -249,16 +249,15 @@ def distributed_tensor_query(g: DistGraphStorage, proc, source_global: int,
 
         futs = {}
         for j, mask in masks.items():
-            if j == shard or not mask.any():
-                continue
-            futs[j] = g.get_neighbor_infos(j, node_ids[mask])
+            if j != shard:
+                futs[j] = g.get_neighbor_infos(j, node_ids[mask])
         # Figure 6 configuration: no overlap — wait before local work.
         remote_infos = {}
         for j, fut in futs.items():
             remote_infos[j] = yield Wait(fut)
 
         local_mask = masks.get(shard)
-        if local_mask is not None and local_mask.any():
+        if local_mask is not None:
             lfut = g.get_neighbor_infos(shard, node_ids[local_mask])
             infos = yield Wait(lfut)
             with proc.measured("push"):

@@ -50,6 +50,7 @@ class MultiSSPPR:
         self.queued = np.zeros(cap, dtype=bool)
         self._frontier_chunks: list[np.ndarray] = []
         self._pending_pairs: np.ndarray | None = None  # sorted pair keys
+        self._pending_pair_nodes: np.ndarray | None = None  # pairs // B
         self.n_pushes = 0
         self.n_entries_processed = 0
         self.n_iterations = 0
@@ -95,6 +96,7 @@ class MultiSSPPR:
         if not self._frontier_chunks:
             empty = np.empty(0, dtype=np.int64)
             self._pending_pairs = None
+            self._pending_pair_nodes = None
             return empty, empty
         raw = (self._frontier_chunks[0] if len(self._frontier_chunks) == 1
                else np.concatenate(self._frontier_chunks))
@@ -103,7 +105,17 @@ class MultiSSPPR:
         idx = self.map.lookup(pairs)
         self.queued[idx] = False
         self._pending_pairs = pairs  # sorted; node key = pair // B
-        node_keys = np.unique(pairs // self.n_queries)
+        # pairs are sorted, so pair_nodes is sorted: dedupe with one diff
+        # scan instead of a second np.unique sort, and cache for push().
+        pair_nodes = pairs // self.n_queries
+        self._pending_pair_nodes = pair_nodes
+        if len(pair_nodes):
+            first = np.empty(len(pair_nodes), dtype=bool)
+            first[0] = True
+            np.not_equal(pair_nodes[1:], pair_nodes[:-1], out=first[1:])
+            node_keys = pair_nodes[first]
+        else:
+            node_keys = pair_nodes
         self.n_iterations += 1
         return node_keys // self.n_shards, node_keys % self.n_shards
 
@@ -122,7 +134,7 @@ class MultiSSPPR:
         chunk_nodes = (np.asarray(local_ids, dtype=np.int64) * self.n_shards
                        + np.asarray(shard_ids, dtype=np.int64))
         pairs = self._pending_pairs
-        pair_nodes = pairs // self.n_queries
+        pair_nodes = self._pending_pair_nodes  # cached by pop(): pairs // B
         # Pair range for each chunk node (pairs are sorted by pair key,
         # hence by node key first).
         starts = np.searchsorted(pair_nodes, chunk_nodes, side="left")
@@ -132,9 +144,10 @@ class MultiSSPPR:
         if total_pairs == 0:
             return
         # Flatten: for chunk node i, its active pairs.
-        pair_sel = np.repeat(starts - np.concatenate(
-            [[0], np.cumsum(pair_counts)[:-1]]
-        ), pair_counts) + np.arange(total_pairs)
+        offsets = np.zeros(len(pair_counts) + 1, dtype=np.int64)
+        np.cumsum(pair_counts, out=offsets[1:])
+        pair_sel = (np.repeat(starts - offsets[:-1], pair_counts)
+                    + np.arange(total_pairs))
         sel_pairs = pairs[pair_sel]
         sel_qids = sel_pairs % self.n_queries
         # chunk-node index each pair belongs to

@@ -21,7 +21,7 @@ from repro.errors import RpcError, RpcTimeoutError, WorkerCrashedError
 from repro.obs import Obs
 from repro.rpc.retry import RetryPolicy
 from repro.rpc.rref import RRef
-from repro.rpc.serialization import payload_sizes
+from repro.rpc.serialization import payload_sizes, request_payload_sizes
 from repro.rpc.worker import RpcServer, WorkerInfo
 from repro.simt.faults import FaultPlan
 from repro.simt.futures import SimFuture
@@ -145,7 +145,7 @@ class RpcContext:
         if self.tracer is not None:
             from repro.rpc.tracing import RpcCallRecord
 
-            req_b, req_t = payload_sizes([list(args), kwargs])
+            req_b, req_t = request_payload_sizes(args, kwargs)
             self.tracer.record(RpcCallRecord(
                 time=caller.clock, caller=caller_name,
                 owner=rref.owner_name, caller_machine=caller_machine,
@@ -167,7 +167,7 @@ class RpcContext:
 
         # Remote path: async issue, modeled transfer, FIFO service, reply.
         self.remote_requests += 1
-        req_bytes, req_tensors = payload_sizes([list(args), kwargs])
+        req_bytes, req_tensors = request_payload_sizes(args, kwargs)
         metrics.inc("rpc.calls_remote")
         metrics.inc("rpc.request_bytes", req_bytes)
         issued_at = caller.clock
@@ -220,6 +220,7 @@ class RpcContext:
                                          client_id, caller_name)
                 resp_bytes, resp_tensors = payload_sizes(result)
                 metrics.inc("rpc.response_bytes", resp_bytes)
+                server.pool.stage(result, metrics)
                 ready = end + self.network.transfer_time(resp_bytes,
                                                          resp_tensors)
                 fut.set_result(result, ready)
@@ -315,6 +316,7 @@ class RpcContext:
                                          client_id, caller_name)
                 resp_bytes, resp_tensors = payload_sizes(result)
                 metrics.inc("rpc.response_bytes", resp_bytes)
+                server.pool.stage(result, metrics)
                 ready = end + self.network.transfer_time_under(
                     plan, resp_bytes, resp_tensors,
                     src_machine=owner_machine, dst_machine=caller_machine,

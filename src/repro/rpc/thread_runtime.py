@@ -27,7 +27,8 @@ from repro.obs import Obs
 from repro.rpc.handlers import check_dispatch
 from repro.rpc.retry import RetryPolicy
 from repro.rpc.rref import RRef
-from repro.rpc.serialization import payload_sizes
+from repro.rpc.serialization import (BufferPool, payload_sizes,
+                                     request_payload_sizes)
 from repro.rpc.worker import WorkerInfo
 from repro.simt.events import Charge, Sleep, Wait, WaitAll
 from repro.utils.timer import CategoryTimer
@@ -106,12 +107,18 @@ class _ThreadServer:
         )
         self.requests_served = 0
         self._lock = threading.Lock()
+        #: response buffer pool; only touched on the single executor
+        #: thread, so no extra locking is needed
+        self.pool = BufferPool()
 
     def put_object(self, key: str, obj: Any) -> None:
         with self._lock:
             if key in self.objects:
                 raise RpcError(f"object key {key!r} already exists")
             self.objects[key] = obj
+        attach = getattr(obj, "attach_pool", None)
+        if attach is not None:
+            attach(self.pool)  # memory accounting sees pooled buffers
 
     def get_object(self, key: str) -> Any:
         try:
@@ -256,7 +263,7 @@ class ThreadRuntime:
         with self._counter_lock:
             self._san_record("ThreadRuntime.remote_requests")
             self.remote_requests += 1
-        req_bytes, _ = payload_sizes([list(args), kwargs])
+        req_bytes, _ = request_payload_sizes(args, kwargs)
         metrics.inc("rpc.calls_remote")
         metrics.inc("rpc.request_bytes", req_bytes)
         owner_name = rref.owner_name
@@ -330,6 +337,7 @@ class ThreadRuntime:
             elapsed = time.perf_counter() - t0
             resp_bytes, _ = payload_sizes(result)
             metrics.inc("rpc.response_bytes", resp_bytes)
+            server.pool.stage(result, metrics)
             if tracer is not None:
                 client_id = tracer.record(
                     f"rpc:{method}", caller_name, issue_clock,

@@ -21,6 +21,7 @@ from typing import Any, Callable
 
 from repro.errors import RpcError, WorkerCrashedError
 from repro.rpc.handlers import check_dispatch
+from repro.rpc.serialization import BufferPool
 from repro.simt.process import SimProcess
 from repro.utils.timer import Stopwatch
 
@@ -61,12 +62,17 @@ class RpcServer:
         #: windows (the dispatch layer checks crashes first; the check here
         #: guards direct serve() callers)
         self.fault_plan = fault_plan
+        #: size-class buffer pool for response serialization (cost model)
+        self.pool = BufferPool()
 
     def put_object(self, key: str, obj: Any) -> None:
         """Host an object under ``key`` (target of RRef calls)."""
         if key in self.objects:
             raise RpcError(f"object key {key!r} already exists on {self.info.name!r}")
         self.objects[key] = obj
+        attach = getattr(obj, "attach_pool", None)
+        if attach is not None:
+            attach(self.pool)  # memory accounting sees pooled buffers
 
     def get_object(self, key: str) -> Any:
         try:

@@ -141,14 +141,16 @@ def _rows_to_batch(rows: list[_HotRow]) -> NeighborBatch:
                          count=len(rows))
     indptr = np.zeros(len(rows) + 1, dtype=np.int64)
     np.cumsum(counts, out=indptr[1:])
+    # repro: allow=REP011 hot rows come from many responses; reassembly copies
     local = np.concatenate([r.local for r in rows])
-    shard = np.concatenate([r.shard for r in rows])
-    glob = np.concatenate([r.glob for r in rows])
-    weight = np.concatenate([r.weight for r in rows])
-    wdeg = np.concatenate([r.wdeg for r in rows])
+    shard = np.concatenate([r.shard for r in rows])  # repro: allow=REP011
+    glob = np.concatenate([r.glob for r in rows])  # repro: allow=REP011
+    weight = np.concatenate([r.weight for r in rows])  # repro: allow=REP011
+    wdeg = np.concatenate([r.wdeg for r in rows])  # repro: allow=REP011
     src = np.fromiter((r.src_wdeg for r in rows), dtype=np.float64,
                       count=len(rows))
-    return NeighborBatch(indptr, local, shard, glob, weight, wdeg, src)
+    return NeighborBatch(indptr, local, shard, glob, weight, wdeg, src,
+                         check=False)
 
 
 class _SimMergedFuture(SimFuture):
@@ -305,10 +307,40 @@ class NeighborFetchService:
         if self._metrics is not None and value:
             self._metrics.inc(name, value)
 
+    def _classify(self, cache, key_list, use_rows, tick,
+                  hot_pos, hot_rows, pend):
+        """Split request positions into hot hits / coalesced / misses."""
+        rest: list[int] = []
+        rows = cache.rows
+        pending = cache.pending
+        coalesce = self._coalesce
+        for i, key in enumerate(key_list):
+            if use_rows:
+                row = rows.get(key)
+                if row is not None:
+                    row.freq += 1
+                    row.tick = tick
+                    hot_pos.append(i)
+                    hot_rows.append(row)
+                    continue
+            if coalesce:
+                ent = pending.get(key)
+                if ent is not None:
+                    fut, row_idx = ent
+                    group = pend.get(id(fut))
+                    if group is None:
+                        group = pend[id(fut)] = (fut, [], [])
+                    group[1].append(i)
+                    group[2].append(row_idx)
+                    continue
+            rest.append(i)
+        return rest
+
     def _fetch_remote(self, dest_shard: int, ids: np.ndarray):
         cache = self._cache
         n = len(ids)
         keys = ids * self._g.n_shards + dest_shard
+        key_list = keys.tolist()  # one bulk conversion, not n int() calls
 
         hot_pos: list[int] = []
         hot_rows: list[_HotRow] = []
@@ -322,32 +354,15 @@ class NeighborFetchService:
             tick = cache.tick
             if self._heat is not None:
                 heat = self._heat
-                for i in range(n):
-                    key = int(keys[i])
+                for key in key_list:
                     heat[key] = heat.get(key, 0) + 1
-            use_rows = cache.capacity > 0
-            for i in range(n):
-                key = int(keys[i])
-                if use_rows:
-                    row = cache.rows.get(key)
-                    if row is not None:
-                        row.freq += 1
-                        row.tick = tick
-                        hot_pos.append(i)
-                        hot_rows.append(row)
-                        continue
-                if self._coalesce:
-                    ent = cache.pending.get(key)
-                    if ent is not None:
-                        fut, row_idx = ent
-                        group = pend.get(id(fut))
-                        if group is None:
-                            group = pend[id(fut)] = (fut, [], [])
-                        group[1].append(i)
-                        group[2].append(row_idx)
-                        continue
-                rest.append(i)
-
+            use_rows = cache.capacity > 0 and bool(cache.rows)
+            if not use_rows and not (self._coalesce and cache.pending):
+                # nothing cached or in flight: every node is a miss
+                rest = list(range(n))
+            else:
+                rest = self._classify(cache, key_list, use_rows, tick,
+                                      hot_pos, hot_rows, pend)
             # Partial halo-cache hits: serve covered rows locally, send
             # only the misses over the wire.
             halo_pos: list[int] = []
@@ -376,7 +391,7 @@ class NeighborFetchService:
                     dest_shard, ids[np.asarray(miss_pos, dtype=np.int64)]
                 )
                 if self._coalesce:
-                    miss_keys = [int(keys[p]) for p in miss_pos]
+                    miss_keys = [key_list[p] for p in miss_pos]
                     for row_idx, key in enumerate(miss_keys):
                         cache.pending[key] = (miss_fut, row_idx)
 
@@ -464,7 +479,7 @@ class NeighborFetchService:
                     if miss_keys:
                         cache.unregister(miss_keys, miss_fut)
                     if cache.capacity > 0 and miss_fut is not None:
-                        admit_keys = [int(keys[p]) for p in miss_pos]
+                        admit_keys = [key_list[p] for p in miss_pos]
                         evicted = cache.admit(admit_keys, miss_fut.value())
             self._inc("fetch.bytes_saved", saved)
             self._inc("fetch.evictions", evicted)

@@ -19,7 +19,7 @@ consumer, as it does in the real system.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import InitVar, dataclass
 
 import numpy as np
 
@@ -28,7 +28,13 @@ from repro.errors import ShardError
 
 @dataclass
 class NeighborBatch:
-    """CSR-compressed neighbor info for a batch of core nodes."""
+    """CSR-compressed neighbor info for a batch of core nodes.
+
+    Internal constructions (``take_rows``, ``merge``, the shard read
+    path) pass ``check=False``: their shapes are correct by
+    construction, and the arrays may be read-only views into the
+    owning shard's CSC arena rather than private copies.
+    """
 
     indptr: np.ndarray        # (n+1,) extents into the flat arrays
     local_ids: np.ndarray     # neighbor local IDs (owner-relative)
@@ -37,8 +43,11 @@ class NeighborBatch:
     weights: np.ndarray       # edge weights
     weighted_degrees: np.ndarray  # neighbors' weighted degrees (halo cache)
     source_wdeg: np.ndarray   # (n,) requested nodes' own weighted degrees
+    check: InitVar[bool] = True
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, check: bool = True) -> None:
+        if not check:  # trusted internal construction
+            return
         n_entries = len(self.local_ids)
         if self.indptr[0] != 0 or self.indptr[-1] != n_entries:
             raise ShardError("NeighborBatch indptr does not span its arrays")
@@ -70,6 +79,22 @@ class NeighborBatch:
         )
         return nbytes, 7
 
+    def rpc_tensors(self):
+        """The tensors a serialized response would carry (buffer-pool hook)."""
+        return (self.indptr, self.local_ids, self.shard_ids, self.global_ids,
+                self.weights, self.weighted_degrees, self.source_wdeg)
+
+    def materialize(self) -> "NeighborBatch":
+        """Copy-on-serialize: a batch backed by private, writable arrays.
+
+        View-backed batches alias the shard's read-only CSC arena; the RPC
+        boundary (and any consumer that wants ownership) calls this to
+        detach.  Values are bitwise identical.
+        """
+        # repro: allow=REP011 copy-on-serialize is the one sanctioned copy point
+        copies = tuple(a.copy() for a in self.rpc_tensors())
+        return NeighborBatch(*copies, check=False)
+
     def take_rows(self, rows: np.ndarray) -> "NeighborBatch":
         """A new batch holding the given source rows, in the given order.
 
@@ -78,16 +103,31 @@ class NeighborBatch:
         owner's arrays, so they are bitwise identical to a direct fetch.
         """
         rows = np.asarray(rows, dtype=np.int64)
+        n = len(rows)
+        if n and rows[0] + n - 1 == rows[-1] and np.all(np.diff(rows) == 1):
+            # contiguous ascending run: pure slices, no gather
+            r0 = int(rows[0])
+            s0 = int(self.indptr[r0])
+            e_last = int(self.indptr[r0 + n])
+            return NeighborBatch(
+                self.indptr[r0:r0 + n + 1] - s0,
+                self.local_ids[s0:e_last], self.shard_ids[s0:e_last],
+                self.global_ids[s0:e_last], self.weights[s0:e_last],
+                self.weighted_degrees[s0:e_last], self.source_wdeg[r0:r0 + n],
+                check=False,
+            )
         starts = self.indptr[rows]
         counts = self.indptr[rows + 1] - starts
-        indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
         total = int(indptr[-1])
+        # repro: allow=REP011 non-contiguous rows need a gather by definition
         idx = np.repeat(starts - indptr[:-1], counts) + np.arange(total)
         return NeighborBatch(
             indptr, self.local_ids[idx], self.shard_ids[idx],
             self.global_ids[idx], self.weights[idx],
             self.weighted_degrees[idx], self.source_wdeg[rows],
+            check=False,
         )
 
     @classmethod
@@ -133,6 +173,7 @@ class NeighborBatch:
         for pos, batch in parts:
             part_counts = np.diff(batch.indptr)
             part_total = int(batch.indptr[-1])
+            # repro: allow=REP011 scatter into the merged arena is a copy by definition
             idx = (np.repeat(indptr[pos] - batch.indptr[:-1], part_counts)
                    + np.arange(part_total))
             local[idx] = batch.local_ids
@@ -141,7 +182,7 @@ class NeighborBatch:
             w[idx] = batch.weights
             wdeg[idx] = batch.weighted_degrees
             src_wdeg[pos] = batch.source_wdeg
-        return cls(indptr, local, shard, glob, w, wdeg, src_wdeg)
+        return cls(indptr, local, shard, glob, w, wdeg, src_wdeg, check=False)
 
 
 class NeighborLists:
@@ -171,11 +212,12 @@ class NeighborLists:
         indptr = np.zeros(len(self.entries) + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
         if self.entries:
+            # repro: allow=REP011 uncompressed ablation pays the copy on purpose
             local = np.concatenate([e[0] for e in self.entries])
-            shard = np.concatenate([e[1] for e in self.entries])
-            glob = np.concatenate([e[2] for e in self.entries])
-            w = np.concatenate([e[3] for e in self.entries])
-            wdeg = np.concatenate([e[4] for e in self.entries])
+            shard = np.concatenate([e[1] for e in self.entries])  # repro: allow=REP011
+            glob = np.concatenate([e[2] for e in self.entries])  # repro: allow=REP011
+            w = np.concatenate([e[3] for e in self.entries])  # repro: allow=REP011
+            wdeg = np.concatenate([e[4] for e in self.entries])  # repro: allow=REP011
         else:
             local = shard = glob = np.zeros(0, dtype=np.int64)
             w = wdeg = np.zeros(0, dtype=np.float64)
@@ -190,3 +232,9 @@ class NeighborLists:
                 nbytes += arr.nbytes
                 n_tensors += 1
         return nbytes, n_tensors
+
+    def rpc_tensors(self):
+        """Every per-node tensor a transfer would wrap (buffer-pool hook)."""
+        yield self.source_wdeg
+        for entry in self.entries:
+            yield from entry

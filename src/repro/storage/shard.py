@@ -40,6 +40,12 @@ from repro.storage.vertex_prop import VertexProp
 from repro.utils.rng import rng_from_seed
 
 
+def _freeze(*arrays: np.ndarray) -> None:
+    """Mark arrays read-only (the zero-copy arena guard)."""
+    for arr in arrays:
+        arr.flags.writeable = False
+
+
 class GraphShard:
     """Storage for one graph partition (plus halo metadata)."""
 
@@ -73,7 +79,14 @@ class GraphShard:
         self.nbr_weight = nbr_weight
         self.nbr_wdeg = nbr_wdeg
         self.core_wdeg = core_wdeg
+        # The CSC arena is read-only: fetch responses are zero-copy views
+        # into these arrays, so an in-place write anywhere would silently
+        # corrupt every outstanding response.  Mutation goes through the
+        # staged two-phase path, which builds fresh arrays and swaps.
+        _freeze(core_global, indptr, nbr_local, nbr_shard, nbr_global,
+                nbr_weight, nbr_wdeg, core_wdeg)
         self._seed = seed
+        self._pool = None  # RPC buffer pool, attached by the hosting server
         self._rng = rng_from_seed(seed)
         self._rng_lock = threading.Lock()
         # Optional 2-hop halo cache (install_halo_cache): full adjacency
@@ -102,10 +115,16 @@ class GraphShard:
         remote = self.nbr_shard != self.shard_id
         return np.unique(self.nbr_global[remote])
 
+    def attach_pool(self, pool) -> None:
+        """Link the hosting server's RPC buffer pool for memory accounting."""
+        self._pool = pool
+
     def memory_nbytes(self) -> int:
         """Bytes held by the shard's arrays (paper: ~1.5x the raw CSR).
 
-        Includes the optional 2-hop halo cache when installed.
+        Includes the optional 2-hop halo cache when installed, and the
+        hosting server's pooled RPC buffers when a pool is attached —
+        rebalancing heat decisions see the true per-shard footprint.
         """
         total = sum(arr.nbytes for arr in (
             self.core_global, self.indptr, self.nbr_local, self.nbr_shard,
@@ -115,6 +134,8 @@ class GraphShard:
             total += (self._cache_keys.nbytes + self._cache_indptr.nbytes
                       + self._cache_src_wdeg.nbytes
                       + sum(a.nbytes for a in self._cache_arrays))
+        if self._pool is not None:
+            total += self._pool.nbytes()
         return total
 
     def _check_ids(self, local_ids: np.ndarray) -> np.ndarray:
@@ -140,7 +161,8 @@ class GraphShard:
         ids = self._check_ids(local_ids)
         prop = VertexProp(self, ids)
         (indptr, local, shard, glob, w, wdeg, src_wdeg) = prop.to_arrays()
-        return NeighborBatch(indptr, local, shard, glob, w, wdeg, src_wdeg)
+        return NeighborBatch(indptr, local, shard, glob, w, wdeg, src_wdeg,
+                             check=False)
 
     @rpc_handler
     def get_neighbor_lists(self, local_ids) -> NeighborLists:
@@ -153,12 +175,13 @@ class GraphShard:
         entries = []
         for lid in ids:
             s, e = self.indptr[lid], self.indptr[lid + 1]
+            # repro: allow=REP011 this ablation measures per-node copy cost
             entries.append((
-                self.nbr_local[s:e].copy(), self.nbr_shard[s:e].copy(),
-                self.nbr_global[s:e].copy(), self.nbr_weight[s:e].copy(),
-                self.nbr_wdeg[s:e].copy(),
+                self.nbr_local[s:e].copy(), self.nbr_shard[s:e].copy(),  # repro: allow=REP011
+                self.nbr_global[s:e].copy(), self.nbr_weight[s:e].copy(),  # repro: allow=REP011
+                self.nbr_wdeg[s:e].copy(),  # repro: allow=REP011
             ))
-        return NeighborLists(entries, self.core_wdeg[ids].copy())
+        return NeighborLists(entries, self.core_wdeg[ids].copy())  # repro: allow=REP011
 
     @rpc_handler
     def get_single(self, local_id: int) -> NeighborLists:
@@ -235,6 +258,9 @@ class GraphShard:
             raise ShardError("cache_indptr shape mismatch")
         if len(cache_src_wdeg) != len(cache_keys):
             raise ShardError("cache_src_wdeg length mismatch")
+        # The cache is part of the read-only arena: get_cached_batch hands
+        # out zero-copy views into these arrays.
+        _freeze(cache_keys, cache_indptr, cache_src_wdeg, *cache_arrays)
         self._cache_keys = cache_keys
         self._cache_indptr = cache_indptr
         self._cache_arrays = cache_arrays
@@ -283,15 +309,29 @@ class GraphShard:
                     f"{dest_shard} (first key {missing[0]})"
                 )
             pos = pos_clip
+        local, shard, glob, w, wdeg = self._cache_arrays
+        n = len(ids)
+        if n and pos[0] + n - 1 == pos[-1] and bool(np.all(np.diff(pos) == 1)):
+            # contiguous cache run: zero-copy slices of the cache arena
+            p0 = int(pos[0])
+            s0 = int(self._cache_indptr[p0])
+            e_last = int(self._cache_indptr[p0 + n])
+            return NeighborBatch(
+                self._cache_indptr[p0:p0 + n + 1] - s0,
+                local[s0:e_last], shard[s0:e_last], glob[s0:e_last],
+                w[s0:e_last], wdeg[s0:e_last],
+                self._cache_src_wdeg[p0:p0 + n], check=False,
+            )
         starts = self._cache_indptr[pos]
         counts = self._cache_indptr[pos + 1] - starts
-        indptr = np.zeros(len(ids) + 1, dtype=np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
         total = int(indptr[-1])
+        # repro: allow=REP011 scattered cache rows need a gather
         idx = np.repeat(starts - indptr[:-1], counts) + np.arange(total)
-        local, shard, glob, w, wdeg = self._cache_arrays
         return NeighborBatch(indptr, local[idx], shard[idx], glob[idx],
-                             w[idx], wdeg[idx], self._cache_src_wdeg[pos])
+                             w[idx], wdeg[idx], self._cache_src_wdeg[pos],
+                             check=False)
 
     # -- streaming: staged batch application ---------------------------------
     # Two-phase protocol (repro.stream.ingest): the driver stages one
@@ -314,7 +354,7 @@ class GraphShard:
         lids = self._check_ids(update.row_lids)
 
         # Core degrees from the broadcast (changed vertices only).
-        core_wdeg = self.core_wdeg.copy()
+        core_wdeg = self.core_wdeg.copy()  # repro: allow=REP011 staged replacement
         if self.n_core and len(update.deg_gids):
             pos = np.searchsorted(self.core_global, update.deg_gids)
             pos_c = np.minimum(pos, self.n_core - 1)
@@ -323,7 +363,7 @@ class GraphShard:
 
         # Splice replacement rows over the old flat arrays.
         old_counts = np.diff(self.indptr)
-        new_counts = old_counts.copy()
+        new_counts = old_counts.copy()  # repro: allow=REP011 staged replacement
         new_counts[lids] = np.diff(update.row_indptr)
         indptr = np.zeros(self.n_core + 1, dtype=np.int64)
         np.cumsum(new_counts, out=indptr[1:])
@@ -337,7 +377,7 @@ class GraphShard:
         }
         changed = np.zeros(self.n_core, dtype=bool)
         changed[lids] = True
-        entry_row = np.repeat(np.arange(self.n_core), old_counts)
+        entry_row = np.repeat(np.arange(self.n_core), old_counts)  # repro: allow=REP011
         keep = ~changed[entry_row]
         dst = (indptr[entry_row[keep]]
                + (np.arange(self.n_entries) - self.indptr[entry_row])[keep])
@@ -349,6 +389,7 @@ class GraphShard:
             arrays[name][dst] = src[keep]
         row_counts = np.diff(update.row_indptr)
         row_total = int(update.row_indptr[-1]) if len(lids) else 0
+        # repro: allow=REP011 staged-splice scatter
         dst2 = (np.repeat(indptr[lids] - update.row_indptr[:-1], row_counts)
                 + np.arange(row_total))
         arrays["nbr_local"][dst2] = update.row_local
@@ -396,7 +437,7 @@ class GraphShard:
             pos_c = np.minimum(pos, len(update.halo_keys) - 1)
             refresh = update.halo_keys[pos_c] == keys
             src_pos = pos_c
-        new_counts = old_counts.copy()
+        new_counts = old_counts.copy()  # repro: allow=REP011 staged replacement
         halo_counts = np.diff(update.halo_indptr)
         new_counts[refresh] = halo_counts[src_pos[refresh]]
         indptr = np.zeros(len(keys) + 1, dtype=np.int64)
@@ -410,7 +451,7 @@ class GraphShard:
         # Kept rows: gather from the old arrays at their new offsets.
         kept = ~refresh
         n_old = int(self._cache_indptr[-1])
-        entry_key = np.repeat(np.arange(len(keys)), old_counts)
+        entry_key = np.repeat(np.arange(len(keys)), old_counts)  # repro: allow=REP011
         keep_entries = kept[entry_key]
         dst = (indptr[entry_key[keep_entries]]
                + (np.arange(n_old)
@@ -424,10 +465,10 @@ class GraphShard:
         srcs = src_pos[ref_idx]
         cnt = halo_counts[srcs]
         n_ref = int(np.sum(cnt))
-        within = (np.arange(n_ref)
-                  - np.repeat(np.cumsum(cnt) - cnt, cnt))
-        dst2 = np.repeat(indptr[ref_idx], cnt) + within
-        src2 = np.repeat(update.halo_indptr[srcs], cnt) + within
+        within = (np.arange(n_ref)  # staged cache-refresh gather
+                  - np.repeat(np.cumsum(cnt) - cnt, cnt))  # repro: allow=REP011
+        dst2 = np.repeat(indptr[ref_idx], cnt) + within  # repro: allow=REP011
+        src2 = np.repeat(update.halo_indptr[srcs], cnt) + within  # repro: allow=REP011
         for name, src in (("c_local", update.halo_local),
                           ("c_shard", update.halo_shard),
                           ("c_global", update.halo_global),
@@ -436,7 +477,7 @@ class GraphShard:
             out[name][dst2] = src[src2]
         self._patch_degrees(out["c_global"], out["c_wdeg"],
                             update.deg_gids, update.deg_wdeg)
-        src_wdeg = self._cache_src_wdeg.copy()
+        src_wdeg = self._cache_src_wdeg.copy()  # repro: allow=REP011 staged replacement
         src_wdeg[ref_idx] = update.halo_src_wdeg[srcs]
         return {"c_indptr": indptr, "c_src_wdeg": src_wdeg, **out}
 
@@ -450,6 +491,9 @@ class GraphShard:
         if staged is None:
             raise ShardError(f"shard {self.shard_id}: commit of unknown "
                              f"tag {tag}")
+        # staged arrays join the read-only arena the moment they go live
+        _freeze(*(v for v in staged.values()
+                  if isinstance(v, np.ndarray)))
         pre = {
             "indptr": self.indptr, "nbr_local": self.nbr_local,
             "nbr_shard": self.nbr_shard, "nbr_global": self.nbr_global,
@@ -549,6 +593,7 @@ class GraphShard:
         m_indptr = np.zeros(len(rows) + 1, dtype=np.int64)
         np.cumsum(counts, out=m_indptr[1:])
         m_arrays = tuple(
+            # repro: allow=REP011 cache-merge rebuild copies by design
             np.concatenate([r[0][i] for r in rows]) if rows
             else np.empty(0, dtype=a.dtype)
             for i, a in enumerate(new_arrays))

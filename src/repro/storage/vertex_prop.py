@@ -54,18 +54,32 @@ class VertexProp:
     def to_arrays(self):
         """Materialize ``(indptr, local, shard, global, w, wdeg, src_wdeg)``.
 
-        Fast path: a gather with one flat index array (no Python loop).
+        When the requested ids form a contiguous ascending run — the
+        common case for sorted core batches — the flat arrays are pure
+        zero-copy slices of the shard's CSC arena (read-only views).
+        Otherwise, a gather with one flat index array (no Python loop).
+        Both paths return bitwise-identical values.
         """
+        sh = self.shard
+        ids = self.ids
+        n = len(ids)
+        if n and ids[0] + n - 1 == ids[-1] and np.all(np.diff(ids) == 1):
+            i0 = int(ids[0])
+            s0 = int(self._starts[0])
+            e_last = int(self._ends[-1])
+            indptr = sh.indptr[i0:i0 + n + 1] - s0
+            return (indptr, sh.nbr_local[s0:e_last], sh.nbr_shard[s0:e_last],
+                    sh.nbr_global[s0:e_last], sh.nbr_weight[s0:e_last],
+                    sh.nbr_wdeg[s0:e_last], sh.core_wdeg[i0:i0 + n])
         counts = self._ends - self._starts
-        indptr = np.zeros(len(self.ids) + 1, dtype=np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
         total = int(indptr[-1])
         # flat gather indices: for each source i, range(starts[i], ends[i])
         idx = np.repeat(self._starts - indptr[:-1], counts) + np.arange(total)
-        sh = self.shard
         return (indptr, sh.nbr_local[idx], sh.nbr_shard[idx],
                 sh.nbr_global[idx], sh.nbr_weight[idx], sh.nbr_wdeg[idx],
-                sh.core_wdeg[self.ids])
+                sh.core_wdeg[ids])
 
     def rpc_payload(self) -> tuple[int, int]:
         """Local handoff is pointer-passing: negligible payload.

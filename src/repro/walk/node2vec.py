@@ -76,14 +76,12 @@ def distributed_node2vec_walk(g: DistGraphStorage, proc,
             masks = g.shard_masks(cur_shard)
         futs = {}
         for j, mask in masks.items():
-            if not mask.any():
-                continue
             futs[j] = g.get_neighbor_infos(j, cur_local[mask])
         for j, fut in futs.items():
             infos = yield Wait(fut)
             (indptr, nbr_local, nbr_shard, nbr_global, weights, _wd,
              _src) = infos.to_arrays()
-            walker_rows = np.flatnonzero(masks[j])
+            walker_rows = masks[j]  # index array: walker rows directly
             with proc.measured("push"):
                 for i, walker in enumerate(walker_rows):
                     s, e = indptr[i], indptr[i + 1]

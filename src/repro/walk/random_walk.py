@@ -40,8 +40,6 @@ def distributed_random_walk(g: DistGraphStorage, proc,
             masks = g.shard_masks(shard_ids)
         futs = {}
         for j, mask in masks.items():
-            if not mask.any():
-                continue
             # per-step salt: draws depend on (shard seed, step, ids), not
             # on the order requests happen to reach the server
             futs[j] = g.sample_one_neighbor(j, node_ids[mask], salt=step)

@@ -108,11 +108,10 @@ def distributed_wcc(g: DistGraphStorage, proc, seed_locals: np.ndarray):
             masks = g.shard_masks(shard_ids)
         futs = {}
         for j, mask in masks.items():
-            if j == g.shard_id or not mask.any():
-                continue
-            futs[j] = g.get_neighbor_infos(j, node_ids[mask])
+            if j != g.shard_id:
+                futs[j] = g.get_neighbor_infos(j, node_ids[mask])
         local_mask = masks.get(g.shard_id)
-        if local_mask is not None and local_mask.any():
+        if local_mask is not None:
             infos = yield Wait(g.get_neighbor_infos(g.shard_id,
                                                     node_ids[local_mask]))
             with proc.measured("push"):

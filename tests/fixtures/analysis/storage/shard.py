@@ -1,0 +1,17 @@
+"""REP011 positive fixture: raw allocations on the zero-copy read path.
+
+The path suffix ``storage/shard.py`` puts this file in REP011's scope;
+every un-pragma'd ``.copy()`` / ``np.repeat`` / ``np.concatenate`` here
+must be flagged.
+"""
+
+import numpy as np
+
+
+def gather_rows(arena, starts, counts):
+    idx = np.repeat(starts, counts)
+    return arena[idx].copy()
+
+
+def reassemble(parts):
+    return np.concatenate(parts)

@@ -68,6 +68,7 @@ FIXTURE_MAP = {
     "REP008": ("rep008_bad.py", "rep008_ok.py", 4),
     "REP009": ("rpc/rep009_bad.py", "rpc/rep009_ok.py", 3),
     "REP010": ("rpc/rep010_bad.py", "rpc/rep010_ok.py", 3),
+    "REP011": ("storage/shard.py", "storage/fetch.py", 3),
 }
 
 
@@ -84,7 +85,7 @@ class TestFramework:
     def test_all_rules_registered(self):
         assert ALL_RULE_IDS == ("REP001", "REP002", "REP003", "REP004",
                                 "REP005", "REP006", "REP007", "REP008",
-                                "REP009", "REP010")
+                                "REP009", "REP010", "REP011")
         assert all(r.title for r in ALL_RULES)
 
     def test_get_rules_unknown_id(self):
@@ -228,6 +229,29 @@ class TestRuleFixtures:
         )
         out = run_lint([mod], rules=get_rules(["REP007"]))
         assert [v.line for v in out] == [3]
+
+    def test_rep011_scope_is_path_suffix_not_directory(self, tmp_path):
+        # the identical hazard outside the three hot-path files is ignored,
+        # even inside a directory named "storage"
+        storage = tmp_path / "storage"
+        storage.mkdir()
+        body = ("import numpy as np\n"
+                "def gather(arena, starts, counts):\n"
+                "    return arena[np.repeat(starts, counts)].copy()\n")
+        (storage / "helpers.py").write_text(body)
+        assert run_lint([storage / "helpers.py"],
+                        rules=get_rules(["REP011"])) == []
+        (storage / "shard.py").write_text(body)
+        out = run_lint([storage / "shard.py"], rules=get_rules(["REP011"]))
+        assert len(out) == 2
+
+    def test_rep011_message_names_the_pragma(self):
+        out = lint_fixture("storage/shard.py", "REP011")
+        messages = " ".join(v.message for v in out)
+        assert "repro: allow=REP011" in messages
+        assert "'np.repeat'" in messages
+        assert "'np.concatenate'" in messages
+        assert "'.copy()'" in messages
 
     def test_rep007_catalog_matches_documented_namespaces(self):
         from repro.obs.metrics_catalog import METRIC_NAMESPACES, \

@@ -31,8 +31,11 @@ class TestDistGraphStorageValidation:
         shard_ids = np.array([0, 1, 2, 1, 0])
         masks = g.shard_masks(shard_ids)
         assert set(masks) == {0, 1, 2}
-        total = sum(int(m.sum()) for m in masks.values())
+        total = sum(len(m) for m in masks.values())
         assert total == 5
+        # index arrays match flatnonzero of the boolean masks exactly
+        for j, idx in masks.items():
+            np.testing.assert_array_equal(idx, np.flatnonzero(shard_ids == j))
 
     def test_shard_masks_only_present_shards(self):
         rrefs = self.make_rrefs(3)
@@ -40,7 +43,7 @@ class TestDistGraphStorageValidation:
         masks = g.shard_masks(np.array([1, 1, 1]))
         assert set(masks) == {1}
         assert masks.get(0) is None
-        assert masks[1].all()
+        np.testing.assert_array_equal(masks[1], np.arange(3))
         assert g.shard_masks(np.array([], dtype=np.int64)) == {}
 
     def test_is_local(self):
